@@ -1,0 +1,25 @@
+"""Figure 4: core-conv runtime vs output channels (staircase).
+
+Regenerates both curves (C=64, H=W in {28, 14}, N = 32..256) on the
+simulated 2080Ti and prints the series the paper plots.
+"""
+
+from repro.experiments import fig4
+from repro.gpusim.device import RTX2080TI
+from repro.perfmodel.tiling import clear_tiling_cache
+
+
+def test_fig4_staircase(once):
+    def run():
+        clear_tiling_cache()
+        return fig4.run(RTX2080TI)
+
+    table = once(run)
+    print()
+    print(table.render())
+    assert len(table) == 8
+
+    # Monotone non-decreasing latencies (the staircase never descends).
+    curve = fig4.staircase_curve(28, 28, device=RTX2080TI)
+    lats = [p.latency for p in curve]
+    assert all(b >= a - 1e-12 for a, b in zip(lats, lats[1:]))

@@ -1,0 +1,31 @@
+"""Figure 8: end-to-end inference latency of the five CNNs (A100).
+
+Prints the five bars per model: original-cuDNN, TK-cuDNN, TK-TVM,
+TK-TDC-ORACLE, TK-TDC-MODEL — and checks the headline orderings.
+"""
+
+from repro.experiments import e2e
+from repro.experiments.common import E2E_MODELS, PAPER_E2E_SPEEDUPS
+from repro.gpusim.device import A100
+from repro.perfmodel.tiling import clear_tiling_cache
+
+
+def test_fig8_e2e_a100(once):
+    def run():
+        clear_tiling_cache()
+        return e2e.run_models(A100)
+
+    results = once(run)
+    print()
+    print(e2e.run(A100).render())
+    print()
+    print("paper-reported oracle speedups (vs orig / TK-cuDNN / TK-TVM):")
+    for name in E2E_MODELS:
+        p = PAPER_E2E_SPEEDUPS[("A100", name)]
+        print(f"  {name}: {p[0]:.2f}x / {p[1]:.2f}x / {p[2]:.2f}x")
+
+    for name, res in results.items():
+        # Bar ordering of Fig. 8: TDC fastest, original slowest.
+        assert res.tucker_tdc_oracle < res.original, name
+        assert res.tucker_tdc_oracle < res.tucker_cudnn, name
+        assert res.tucker_tdc_oracle <= res.tucker_tvm * 1.02, name

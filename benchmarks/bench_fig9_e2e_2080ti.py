@@ -1,0 +1,26 @@
+"""Figure 9: end-to-end inference latency of the five CNNs (2080Ti)."""
+
+from repro.experiments import e2e
+from repro.experiments.common import E2E_MODELS, PAPER_E2E_SPEEDUPS
+from repro.gpusim.device import RTX2080TI
+from repro.perfmodel.tiling import clear_tiling_cache
+
+
+def test_fig9_e2e_2080ti(once):
+    def run():
+        clear_tiling_cache()
+        return e2e.run_models(RTX2080TI)
+
+    results = once(run)
+    print()
+    print(e2e.run(RTX2080TI).render())
+    print()
+    print("paper-reported oracle speedups (vs orig / TK-cuDNN / TK-TVM):")
+    for name in E2E_MODELS:
+        p = PAPER_E2E_SPEEDUPS[("2080Ti", name)]
+        print(f"  {name}: {p[0]:.2f}x / {p[1]:.2f}x / {p[2]:.2f}x")
+
+    for name, res in results.items():
+        assert res.tucker_tdc_oracle < res.original, name
+        assert res.tucker_tdc_oracle < res.tucker_cudnn, name
+        assert res.tucker_tdc_oracle <= res.tucker_tvm * 1.02, name

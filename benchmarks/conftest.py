@@ -1,0 +1,27 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one table/figure of the paper and prints
+the rows (run with ``-s`` to see them); pytest-benchmark times the
+regeneration.  Training-based experiments (Tables 2/3, budget sweep)
+run once (``rounds=1``) — they are minutes-long statistical runs, not
+microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with a single round (expensive experiments)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapping :func:`run_once`."""
+
+    def _run(fn):
+        return run_once(benchmark, fn)
+
+    return _run

@@ -1,0 +1,22 @@
+"""repro: reproduction of TDC (PPoPP'23) — hardware-aware Tucker
+decomposition for efficient CNN inference on GPUs.
+
+Subpackages
+-----------
+- :mod:`repro.tensor`      — Tucker/CP/TT decompositions, EVBMF
+- :mod:`repro.nn`          — NumPy CNN training framework
+- :mod:`repro.models`      — trainable slim models + full-scale specs
+- :mod:`repro.data`        — deterministic synthetic datasets
+- :mod:`repro.gpusim`      — simulated A100 / RTX 2080Ti devices
+- :mod:`repro.kernels`     — TDC / TVM / cuDNN-style conv kernels
+- :mod:`repro.perfmodel`   — analytical latency model, tiling selection
+- :mod:`repro.codesign`    — rank selection (Alg. 1) and TDC pipeline
+- :mod:`repro.compression` — ADMM training, baselines, comparators
+- :mod:`repro.inference`   — execution plans + end-to-end engine
+- :mod:`repro.experiments` — per-table/figure reproduction harnesses
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,127 @@
+"""Command-line interface: regenerate any paper artifact.
+
+Usage:
+    python -m repro.cli fig4
+    python -m repro.cli fig6 --device 2080Ti
+    python -m repro.cli e2e --device A100
+    python -m repro.cli oracle-gap --device A100
+    python -m repro.cli ablations --device A100
+    python -m repro.cli table2
+    python -m repro.cli table3 --budget 0.6
+    python -m repro.cli budget-sweep
+    python -m repro.cli codegen --shape 64 32 56 56
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.gpusim.device import get_device
+
+
+def _add_device(parser: argparse.ArgumentParser, default: str = "A100") -> None:
+    parser.add_argument(
+        "--device", default=default, help="A100 or 2080Ti (default %(default)s)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TDC (PPoPP'23) reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    _add_device(sub.add_parser("fig4", help="latency staircase"), "2080Ti")
+    _add_device(sub.add_parser("fig6", help="layerwise kernels (A100)"))
+    _add_device(sub.add_parser("fig7", help="layerwise kernels (2080Ti)"),
+                "2080Ti")
+    _add_device(sub.add_parser("e2e", help="end-to-end inference (Figs 8/9)"))
+    _add_device(sub.add_parser("oracle-gap", help="Sec 5.5 model-vs-oracle"))
+    _add_device(sub.add_parser("ablations", help="design-choice ablations"))
+
+    sub.add_parser("table2", help="ADMM vs direct compression")
+
+    t3 = sub.add_parser("table3", help="TDC vs SOTA comparators")
+    t3.add_argument("--budget", type=float, default=0.6)
+
+    sub.add_parser("budget-sweep", help="Sec 7.2 accuracy-vs-budget")
+
+    rep = sub.add_parser("report", help="all latency-side artifacts at once")
+    rep.add_argument("--no-e2e", action="store_true",
+                     help="skip the (slower) end-to-end section")
+
+    cg = sub.add_parser("codegen", help="emit CUDA for one core shape")
+    cg.add_argument("--shape", nargs=4, type=int, metavar=("C", "N", "H", "W"),
+                    default=[64, 32, 56, 56])
+    _add_device(cg)
+    cg.add_argument("--method", choices=["model", "oracle"], default="model")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "fig4":
+        from repro.experiments import fig4
+
+        print(fig4.run(get_device(args.device)).render())
+    elif args.command in ("fig6", "fig7"):
+        from repro.experiments import layerwise
+
+        device = get_device(args.device)
+        print(layerwise.run(device).render())
+        print()
+        print(layerwise.summary(device).render())
+    elif args.command == "e2e":
+        from repro.experiments import e2e
+
+        print(e2e.run(get_device(args.device)).render())
+    elif args.command == "oracle-gap":
+        from repro.experiments import oracle_gap
+
+        print(oracle_gap.run(get_device(args.device)).render())
+    elif args.command == "ablations":
+        from repro.experiments import ablations
+
+        device = get_device(args.device)
+        print(ablations.crsn_layout_ablation(device).render())
+        print()
+        print(ablations.c_split_ablation(device).render())
+        print()
+        print(ablations.top_fraction_ablation(device).render())
+    elif args.command == "table2":
+        from repro.experiments import table2
+
+        print(table2.run().render())
+    elif args.command == "table3":
+        from repro.experiments import table3
+
+        config = table3.Table3Config(budget=args.budget)
+        print(table3.run(config).render())
+    elif args.command == "budget-sweep":
+        from repro.experiments import budget_sweep
+
+        print(budget_sweep.run().render())
+    elif args.command == "report":
+        from repro.experiments.report import generate_report
+
+        print(generate_report(include_e2e=not args.no_e2e))
+    elif args.command == "codegen":
+        from repro.kernels.base import ConvShape
+        from repro.kernels.codegen import generate_tdc_kernel_source
+        from repro.perfmodel.tiling import select_tiling
+
+        c, n, h, w = args.shape
+        shape = ConvShape(c=c, n=n, h=h, w=w)
+        choice = select_tiling(shape, get_device(args.device), args.method)
+        print(generate_tdc_kernel_source(shape, choice.tiling))
+    else:  # pragma: no cover - argparse enforces the choices
+        raise SystemExit(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""The benchmark/performance table T of Sec. 6 and Fig. 5.
+
+For one original conv layer ``(C, N, H, W)`` the co-design enumerates
+Tucker rank candidates ``(D1, D2)`` on a step-32 grid (a warp is 32
+threads, so finer steps would leave lanes idle — Sec. 6), and records
+the *full Tucker layer latency*: the 1x1 ``C -> D1`` conv, the TDC core
+conv ``D1 -> D2`` with its selected tiling, and the 1x1 ``D2 -> N``
+conv, each including kernel-launch overhead.  The original layer's
+latency under cuDNN IMPLICIT_GEMM (the kernel an undecomposed layer
+would use at inference) is kept for the θ-threshold rule.
+
+Tables are memoized per (shape, device, method, step) since the five
+CNNs repeat many layer shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.codesign.flops import conv_flops, tucker_flops
+from repro.gpusim.device import DeviceSpec
+from repro.kernels.base import ConvShape
+from repro.kernels.cudnn import CuDNNGemmKernel
+from repro.kernels.pointwise import pointwise_latency
+from repro.kernels.tdc_direct import TDCDirectKernel, Tiling
+from repro.perfmodel.tiling import select_tiling
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One (D1, D2) candidate in the performance table."""
+
+    d1: int                  # core conv input channels (rank of C mode)
+    d2: int                  # core conv output channels (rank of N mode)
+    pw1_latency: float       # 1x1 C -> D1
+    core_latency: float      # TDC core conv D1 -> D2
+    pw2_latency: float       # 1x1 D2 -> N
+    tiling: Tiling
+    flops: int               # Tucker layer FLOPs
+
+    @property
+    def total_latency(self) -> float:
+        return self.pw1_latency + self.core_latency + self.pw2_latency
+
+
+@dataclass
+class PerformanceTable:
+    """Latency table for all rank candidates of one layer shape."""
+
+    c: int
+    n: int
+    h: int
+    w: int
+    r: int
+    s: int
+    device_name: str
+    original_latency: float          # dense layer via cuDNN (for θ rule)
+    original_flops: int
+    entries: List[TableEntry]
+
+    def lookup(self, d1: int, d2: int) -> TableEntry:
+        for e in self.entries:
+            if e.d1 == d1 and e.d2 == d2:
+                return e
+        raise KeyError(f"no entry for ranks ({d1}, {d2})")
+
+    def candidates_within(self, max_flops: float) -> List[TableEntry]:
+        """Entries meeting a FLOPs ceiling (the budget constraint)."""
+        return [e for e in self.entries if e.flops <= max_flops]
+
+    def best_under_budget(
+        self, max_flops: float, latency_tolerance: float = 0.12
+    ) -> Optional[TableEntry]:
+        """Alg. 1 line 3: ``max{argmin_{P(D1,D2)<=B} T(D1,D2)}``.
+
+        The latency staircase (Fig. 4) makes many rank pairs share the
+        same effective latency; the paper resolves the argmin set by
+        taking the *largest* ranks in it (bigger ranks cost nothing in
+        time but preserve accuracy).  Simulated latencies inside one
+        staircase step differ by small second-order terms, so the
+        argmin set is formed by grouping latencies within
+        ``latency_tolerance`` of the minimum.
+        """
+        feasible = self.candidates_within(max_flops)
+        if not feasible:
+            return None
+        best_latency = min(e.total_latency for e in feasible)
+        plateau = [
+            e for e in feasible
+            if e.total_latency <= best_latency * (1.0 + latency_tolerance)
+        ]
+        # Within the plateau prefer *balanced* rank pairs first (a tiny
+        # D1 or D2 bottlenecks the whole layer's information flow and
+        # is what "over rank reduction" looks like in practice), then
+        # the largest total rank.
+        return max(
+            plateau,
+            key=lambda e: (min(e.d1, e.d2), e.d1 + e.d2, -e.total_latency),
+        )
+
+
+def rank_candidates(extent: int, step: int) -> List[int]:
+    """Rank grid for one mode: multiples of ``step`` strictly below the
+    original extent (reducing by ``step`` at a time, Sec. 6); always at
+    least one candidate (``min(step, extent//2)`` floor for slim models)."""
+    step = check_positive_int("step", step)
+    cands = [d for d in range(step, extent, step)]
+    if not cands:
+        cands = [max(1, extent // 2)]
+    return cands
+
+
+_TABLE_CACHE: Dict[Tuple, PerformanceTable] = {}
+
+
+def build_performance_table(
+    c: int,
+    n: int,
+    h: int,
+    w: int,
+    device: DeviceSpec,
+    r: int = 3,
+    s: int = 3,
+    rank_step: int = 32,
+    method: str = "model",
+    use_cache: bool = True,
+) -> PerformanceTable:
+    """Generate (or fetch memoized) the table T for one layer shape."""
+    key = (c, n, h, w, r, s, device.name, rank_step, method)
+    if use_cache and key in _TABLE_CACHE:
+        return _TABLE_CACHE[key]
+
+    dense_shape = ConvShape(c=c, n=n, h=h, w=w, r=r, s=s)
+    original_latency = CuDNNGemmKernel().latency(dense_shape, device)
+
+    entries: List[TableEntry] = []
+    for d1 in rank_candidates(c, rank_step):
+        for d2 in rank_candidates(n, rank_step):
+            core_shape = ConvShape(c=d1, n=d2, h=h, w=w, r=r, s=s)
+            choice = select_tiling(core_shape, device, method=method)
+            entries.append(
+                TableEntry(
+                    d1=d1,
+                    d2=d2,
+                    pw1_latency=pointwise_latency(c, d1, h, w, device),
+                    core_latency=choice.simulated_latency,
+                    pw2_latency=pointwise_latency(d2, n, h, w, device),
+                    tiling=choice.tiling,
+                    flops=tucker_flops(c, n, h, w, d1, d2, r, s),
+                )
+            )
+
+    table = PerformanceTable(
+        c=c, n=n, h=h, w=w, r=r, s=s,
+        device_name=device.name,
+        original_latency=original_latency,
+        original_flops=conv_flops(c, n, h, w, r, s),
+        entries=entries,
+    )
+    if use_cache:
+        _TABLE_CACHE[key] = table
+    return table
+
+
+def clear_table_cache() -> None:
+    """Drop all memoized tables (used by tests)."""
+    _TABLE_CACHE.clear()

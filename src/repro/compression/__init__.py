@@ -1,0 +1,60 @@
+"""Model compression: ADMM training, baselines, comparator methods."""
+
+from repro.compression.admm import ADMMState, ADMMTrainer
+from repro.compression.baselines import (
+    decompose_and_finetune,
+    decompose_model,
+    direct_train_tucker,
+    randomize_tucker_model,
+)
+from repro.compression.comparators import (
+    ALL_COMPARATORS,
+    Comparator,
+    CompressionReport,
+    CPStableComparator,
+    FPGMComparator,
+    MUSCOComparator,
+    OptTTComparator,
+    StdTKDComparator,
+    TDCComparator,
+    TRPComparator,
+    achieved_tucker_reduction,
+    uniform_tucker_ranks_for_budget,
+)
+from repro.compression.projections import (
+    cp_projection,
+    projection_error,
+    svd_projection,
+    tt_projection,
+    tucker2_projection,
+)
+from repro.compression.training import TrainHistory, evaluate, train_model
+
+__all__ = [
+    "ADMMState",
+    "ADMMTrainer",
+    "decompose_and_finetune",
+    "decompose_model",
+    "direct_train_tucker",
+    "randomize_tucker_model",
+    "ALL_COMPARATORS",
+    "Comparator",
+    "CompressionReport",
+    "CPStableComparator",
+    "FPGMComparator",
+    "MUSCOComparator",
+    "OptTTComparator",
+    "StdTKDComparator",
+    "TDCComparator",
+    "TRPComparator",
+    "achieved_tucker_reduction",
+    "uniform_tucker_ranks_for_budget",
+    "cp_projection",
+    "projection_error",
+    "svd_projection",
+    "tt_projection",
+    "tucker2_projection",
+    "TrainHistory",
+    "evaluate",
+    "train_model",
+]

@@ -1,0 +1,120 @@
+"""Compression baselines: decompose-then-finetune and direct training.
+
+These are the two alternatives Sec. 4.1 argues against (Table 2):
+
+- **Direct training**: build the Tucker-format model with random
+  weights and train it from scratch.  Lower capacity + greater depth
+  makes it hyperparameter-fragile.
+- **Decompose + finetune**: truncate a pretrained full-rank model to
+  Tucker format (a large one-shot approximation error) and try to
+  recover by fine-tuning.
+
+Also hosts the shared machinery for swapping dense convs for
+:class:`TuckerConv2d` modules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compression.training import TrainHistory, evaluate, train_model
+from repro.data.synthetic import Dataset
+from repro.models.introspection import find_module, replace_module
+from repro.nn.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.tucker_conv import TuckerConv2d
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+def decompose_model(
+    model: Module,
+    rank_map: Dict[str, Sequence[int]],
+    n_iter: int = 10,
+) -> Module:
+    """Replace each named dense conv by its Tucker-2 factorization.
+
+    ``rank_map`` maps dotted conv names to ``(D2, D1)``.  The model is
+    modified in place and returned.
+    """
+    for name, ranks in rank_map.items():
+        mod = find_module(model, name)
+        if not isinstance(mod, Conv2d):
+            raise TypeError(f"{name!r} is not a Conv2d")
+        d2, d1 = (int(r) for r in ranks)
+        tucker = TuckerConv2d.from_conv(mod, rank_out=d2, rank_in=d1, n_iter=n_iter)
+        replace_module(model, name, tucker)
+    return model
+
+
+def randomize_tucker_model(
+    model: Module,
+    rank_map: Dict[str, Sequence[int]],
+    seed: SeedLike = 0,
+) -> Module:
+    """Replace named convs with *randomly initialized* Tucker layers
+    (the direct-training baseline's starting point)."""
+    seeds = spawn_rngs(seed, max(1, len(rank_map)))
+    for (name, ranks), layer_seed in zip(sorted(rank_map.items()), seeds):
+        mod = find_module(model, name)
+        if not isinstance(mod, Conv2d):
+            raise TypeError(f"{name!r} is not a Conv2d")
+        d2, d1 = (int(r) for r in ranks)
+        tucker = TuckerConv2d(
+            in_channels=mod.in_channels,
+            out_channels=mod.out_channels,
+            kernel_size=mod.kernel_size,
+            rank_in=d1,
+            rank_out=d2,
+            stride=mod.stride,
+            padding=mod.padding,
+            bias=mod.bias is not None,
+            seed=layer_seed,
+        )
+        replace_module(model, name, tucker)
+    return model
+
+
+def decompose_and_finetune(
+    model: Module,
+    rank_map: Dict[str, Sequence[int]],
+    train_data: Dataset,
+    test_data: Dataset,
+    epochs: int = 3,
+    batch_size: int = 32,
+    lr: float = 0.02,
+    seed: SeedLike = 0,
+) -> Tuple[Module, TrainHistory]:
+    """One-shot truncated decomposition of a pretrained model followed
+    by fine-tuning (the 'Std. TKD' / direct-compression recipe)."""
+    decompose_model(model, rank_map)
+    history = train_model(
+        model, train_data, test_data=test_data, epochs=epochs,
+        batch_size=batch_size, lr=lr, seed=seed,
+    )
+    if not history.test_accuracies:
+        history.test_accuracies.append(evaluate(model, test_data, batch_size))
+    return model, history
+
+
+def direct_train_tucker(
+    model: Module,
+    rank_map: Dict[str, Sequence[int]],
+    train_data: Dataset,
+    test_data: Dataset,
+    epochs: int = 5,
+    batch_size: int = 32,
+    lr: float = 0.05,
+    seed: SeedLike = 0,
+) -> Tuple[Module, TrainHistory]:
+    """Train a randomly initialized Tucker-format model from scratch
+    (the 'direct training' baseline of Table 2)."""
+    randomize_tucker_model(model, rank_map, seed=seed)
+    history = train_model(
+        model, train_data, test_data=test_data, epochs=epochs,
+        batch_size=batch_size, lr=lr, seed=seed,
+    )
+    if not history.test_accuracies:
+        history.test_accuracies.append(evaluate(model, test_data, batch_size))
+    return model, history

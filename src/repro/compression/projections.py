@@ -1,0 +1,75 @@
+"""Projection operators onto low-rank kernel sets.
+
+The ADMM K̂-update projects ``K + M`` onto the constraint set Q.  For
+TDC, Q is the set of kernels with Tucker-2 ranks ≤ (D2, D1)
+(truncated HOSVD, Eq. 12).  The same ADMM machinery with a *different*
+projection reproduces the Opt-TT comparator (Yin et al. 2021, the
+paper's ref [42], which inspired the TDC training algorithm), and a
+matrix (mode-1 SVD) projection reproduces TRP.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor.cp import cp_als
+from repro.tensor.tt import tt_svd
+from repro.tensor.tucker import tucker2_project
+
+# A projection maps (kernel, ranks) -> projected kernel of equal shape.
+Projection = Callable[[np.ndarray, Sequence[int]], np.ndarray]
+
+
+def tucker2_projection(kernel: np.ndarray, ranks: Sequence[int]) -> np.ndarray:
+    """Truncated-HOSVD projection onto Tucker-2 ranks (D2, D1)."""
+    d2, d1 = ranks
+    return tucker2_project(kernel, rank_out=d2, rank_in=d1)
+
+
+def tt_projection(kernel: np.ndarray, ranks: Sequence[int]) -> np.ndarray:
+    """TT-SVD projection after flattening the spatial modes.
+
+    Mirrors the spatial-information loss of TT conv compression the
+    paper describes: the kernel is reshaped to (N, C, R*S) before
+    decomposition and reshaped back after reconstruction.
+    """
+    kernel = np.asarray(kernel)
+    n, c, r, s = kernel.shape
+    ranks = [int(x) for x in ranks]
+    if len(ranks) != 2:
+        raise ValueError(f"tt_projection needs 2 internal ranks, got {ranks}")
+    tt = tt_svd(kernel.reshape(n, c, r * s), max_ranks=ranks)
+    return tt.to_full().reshape(n, c, r, s)
+
+
+def svd_projection(kernel: np.ndarray, ranks: Sequence[int]) -> np.ndarray:
+    """Mode-1 (output channel) SVD truncation — the TRP-style matrix
+    decomposition projection."""
+    kernel = np.asarray(kernel)
+    n = kernel.shape[0]
+    rank = int(ranks[0])
+    mat = kernel.reshape(n, -1)
+    u, s, vt = np.linalg.svd(mat, full_matrices=False)
+    rank = min(rank, s.shape[0])
+    approx = (u[:, :rank] * s[:rank][None, :]) @ vt[:rank]
+    return approx.reshape(kernel.shape)
+
+
+def cp_projection(kernel: np.ndarray, ranks: Sequence[int]) -> np.ndarray:
+    """CP-ALS projection with a single shared rank (CP's limitation)."""
+    rank = int(ranks[0])
+    cp = cp_als(np.asarray(kernel), rank=rank, n_iter=25, seed=0)
+    return cp.to_full()
+
+
+def projection_error(kernel: np.ndarray, projection: Projection,
+                     ranks: Sequence[int]) -> float:
+    """Relative Frobenius error introduced by a projection."""
+    kernel = np.asarray(kernel)
+    denom = np.linalg.norm(kernel.ravel())
+    if denom == 0:
+        return 0.0
+    diff = projection(kernel, ranks) - kernel
+    return float(np.linalg.norm(diff.ravel()) / denom)

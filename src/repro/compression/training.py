@@ -1,0 +1,95 @@
+"""Plain training/evaluation loops shared by all compression methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data.synthetic import Dataset, batches
+from repro.nn.loss import CrossEntropyLoss, accuracy
+from repro.nn.module import Module
+from repro.nn.optim import SGD, Optimizer
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch training curves."""
+
+    losses: List[float] = field(default_factory=list)
+    train_accuracies: List[float] = field(default_factory=list)
+    test_accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def final_test_accuracy(self) -> float:
+        return self.test_accuracies[-1] if self.test_accuracies else float("nan")
+
+
+def evaluate(model: Module, data: Dataset, batch_size: int = 64) -> float:
+    """Top-1 accuracy of ``model`` on ``data`` (eval mode)."""
+    was_training = model.training
+    model.eval()
+    correct = 0
+    for x, y in batches(data, batch_size, shuffle=False):
+        logits = model.forward(x)
+        correct += int(np.sum(np.argmax(logits, axis=1) == y))
+    if was_training:
+        model.train()
+    return correct / len(data)
+
+
+def train_model(
+    model: Module,
+    train_data: Dataset,
+    test_data: Optional[Dataset] = None,
+    epochs: int = 5,
+    batch_size: int = 32,
+    lr: float = 0.05,
+    momentum: float = 0.9,
+    weight_decay: float = 1e-4,
+    seed: SeedLike = 0,
+    optimizer: Optional[Optimizer] = None,
+    grad_hook=None,
+    epoch_hook=None,
+) -> TrainHistory:
+    """Standard SGD training loop.
+
+    ``grad_hook()`` runs after backward and before the optimizer step
+    (the ADMM trainer injects its proximal term there); ``epoch_hook``
+    runs after each epoch (the ADMM dual updates / TRP projections).
+    """
+    if epochs < 0:
+        raise ValueError(f"epochs must be >= 0, got {epochs}")
+    opt = optimizer or SGD(
+        model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay
+    )
+    loss_fn = CrossEntropyLoss()
+    history = TrainHistory()
+    shuffle_rngs = spawn_rngs(seed, max(1, epochs))
+
+    model.train()
+    for epoch in range(epochs):
+        epoch_loss = 0.0
+        epoch_correct = 0
+        n_seen = 0
+        for x, y in batches(train_data, batch_size, seed=shuffle_rngs[epoch]):
+            model.zero_grad()
+            logits = model.forward(x)
+            loss = loss_fn(logits, y)
+            grad = loss_fn.backward()
+            model.backward(grad)
+            if grad_hook is not None:
+                grad_hook()
+            opt.step()
+            epoch_loss += loss * len(y)
+            epoch_correct += int(np.sum(np.argmax(logits, axis=1) == y))
+            n_seen += len(y)
+        history.losses.append(epoch_loss / max(n_seen, 1))
+        history.train_accuracies.append(epoch_correct / max(n_seen, 1))
+        if test_data is not None:
+            history.test_accuracies.append(evaluate(model, test_data, batch_size))
+        if epoch_hook is not None:
+            epoch_hook(epoch)
+    return history

@@ -1,0 +1,189 @@
+"""Deterministic synthetic image-classification data.
+
+Each class k is defined by a set of class-specific oriented sinusoidal
+texture components (random frequency/phase/orientation per class) mixed
+across the 3 color channels, plus a class-conditional color bias.  A
+sample draws random per-component amplitudes, a random spatial shift,
+and i.i.d. Gaussian pixel noise, so classification requires learning
+the spatial texture, not just mean color (a linear model performs far
+below a CNN on the default difficulty — a unit test checks the CNN can
+beat a label-frequency baseline after a short training run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng, spawn_rngs
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class Dataset:
+    """Images ``(N, C, H, W)`` float64 and integer labels ``(N,)``."""
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.images.ndim != 4:
+            raise ValueError(f"images must be 4-D NCHW, got {self.images.shape}")
+        if self.labels.shape != (self.images.shape[0],):
+            raise ValueError("labels must be 1-D matching the batch dimension")
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self) else 0
+
+
+class SyntheticImageClassification:
+    """Generator of class-conditional texture images.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of classes.
+    image_size:
+        Spatial extent (square images).
+    n_components:
+        Texture components per class; more components = harder task.
+    noise:
+        Std of additive Gaussian pixel noise (difficulty knob).
+    seed:
+        Seed for the class definitions; sampling uses separate seeds.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        image_size: int = 16,
+        channels: int = 3,
+        n_components: int = 3,
+        noise: float = 0.3,
+        seed: SeedLike = 0,
+    ) -> None:
+        self.num_classes = check_positive_int("num_classes", num_classes)
+        self.image_size = check_positive_int("image_size", image_size)
+        self.channels = check_positive_int("channels", channels)
+        self.n_components = check_positive_int("n_components", n_components)
+        if noise < 0:
+            raise ValueError(f"noise must be >= 0, got {noise}")
+        self.noise = float(noise)
+
+        rng = new_rng(seed)
+        k, p, c = num_classes, n_components, channels
+        # Per class/component texture parameters.
+        self._freq = rng.uniform(0.5, 2.5, size=(k, p))
+        self._theta = rng.uniform(0.0, np.pi, size=(k, p))
+        self._phase = rng.uniform(0.0, 2 * np.pi, size=(k, p))
+        self._chan_mix = rng.standard_normal((k, p, c))
+        self._chan_mix /= np.linalg.norm(self._chan_mix, axis=-1, keepdims=True)
+        self._color_bias = 0.25 * rng.standard_normal((k, c))
+
+    def _render(self, label: int, amps: np.ndarray, shift: np.ndarray,
+                rng: np.random.Generator) -> np.ndarray:
+        s = self.image_size
+        ys, xs = np.mgrid[0:s, 0:s].astype(np.float64) / s
+        img = np.zeros((self.channels, s, s))
+        for p in range(self.n_components):
+            angle = self._theta[label, p]
+            u = np.cos(angle) * (xs + shift[0]) + np.sin(angle) * (ys + shift[1])
+            wave = np.sin(
+                2 * np.pi * self._freq[label, p] * u * s / 8.0
+                + self._phase[label, p]
+            )
+            img += amps[p] * self._chan_mix[label, p][:, None, None] * wave[None]
+        img += self._color_bias[label][:, None, None]
+        img += self.noise * rng.standard_normal(img.shape)
+        return img
+
+    def sample(self, n: int, seed: SeedLike = 1) -> Dataset:
+        """Draw ``n`` labeled samples (uniform class distribution)."""
+        n = check_positive_int("n", n)
+        label_rng, amp_rng, shift_rng, noise_rng = spawn_rngs(seed, 4)
+        labels = label_rng.integers(0, self.num_classes, size=n)
+        images = np.empty((n, self.channels, self.image_size, self.image_size))
+        for i in range(n):
+            amps = 0.6 + 0.8 * amp_rng.random(self.n_components)
+            shift = shift_rng.random(2)
+            images[i] = self._render(int(labels[i]), amps, shift, noise_rng)
+        # Normalize globally to roughly unit scale.
+        images -= images.mean()
+        std = images.std()
+        if std > 0:
+            images /= std
+        return Dataset(images=images, labels=labels)
+
+
+def make_cifar_like(
+    n_train: int = 512,
+    n_test: int = 256,
+    image_size: int = 16,
+    num_classes: int = 10,
+    noise: float = 0.3,
+    seed: SeedLike = 0,
+) -> Tuple[Dataset, Dataset]:
+    """CIFAR-10 stand-in: 10-way, small images, moderate noise."""
+    task_seed, train_seed, test_seed = spawn_rngs(seed, 3)
+    task = SyntheticImageClassification(
+        num_classes=num_classes, image_size=image_size, noise=noise,
+        seed=task_seed,
+    )
+    return task.sample(n_train, seed=train_seed), task.sample(n_test, seed=test_seed)
+
+
+def make_tiny_imagenet_like(
+    n_train: int = 512,
+    n_test: int = 256,
+    image_size: int = 32,
+    num_classes: int = 20,
+    noise: float = 0.35,
+    seed: SeedLike = 0,
+) -> Tuple[Dataset, Dataset]:
+    """ImageNet stand-in: more classes, larger images, harder textures."""
+    task_seed, train_seed, test_seed = spawn_rngs(seed, 3)
+    task = SyntheticImageClassification(
+        num_classes=num_classes, image_size=image_size, noise=noise,
+        n_components=4, seed=task_seed,
+    )
+    return task.sample(n_train, seed=train_seed), task.sample(n_test, seed=test_seed)
+
+
+def train_val_split(
+    data: Dataset, val_fraction: float = 0.2, seed: SeedLike = 0
+) -> Tuple[Dataset, Dataset]:
+    """Shuffle and split a dataset into train/val parts."""
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError(f"val_fraction must be in (0, 1), got {val_fraction}")
+    n = len(data)
+    perm = new_rng(seed).permutation(n)
+    n_val = max(1, int(round(n * val_fraction)))
+    val_idx, train_idx = perm[:n_val], perm[n_val:]
+    if train_idx.size == 0:
+        raise ValueError("split leaves no training samples")
+    return (
+        Dataset(data.images[train_idx], data.labels[train_idx]),
+        Dataset(data.images[val_idx], data.labels[val_idx]),
+    )
+
+
+def batches(
+    data: Dataset, batch_size: int, seed: SeedLike = None, shuffle: bool = True
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Iterate minibatches; the last partial batch is kept."""
+    batch_size = check_positive_int("batch_size", batch_size)
+    n = len(data)
+    idx = np.arange(n)
+    if shuffle:
+        idx = new_rng(seed).permutation(n)
+    for start in range(0, n, batch_size):
+        sel = idx[start : start + batch_size]
+        yield data.images[sel], data.labels[sel]

@@ -1,0 +1,103 @@
+"""Sec. 7.2 budget sweep: accuracy vs target FLOPs-reduction budget.
+
+The paper sweeps ResNet-18 budgets 65/70/75/80% and reports accuracies
+69.70/67.86/66.59/64.81% — monotonically decreasing.  The reproduced
+claim is that monotone trend on the slim model + synthetic data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.compression.admm import ADMMTrainer
+from repro.compression.baselines import decompose_model
+from repro.compression.comparators import (
+    achieved_tucker_reduction,
+    uniform_tucker_ranks_for_budget,
+)
+from repro.compression.training import evaluate, train_model
+from repro.data.synthetic import make_cifar_like
+from repro.models.introspection import trace_conv_sites
+from repro.models.registry import build_model
+from repro.utils.rng import SeedLike
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class BudgetSweepConfig:
+    model: str = "resnet18_slim"
+    image_size: int = 12
+    n_train: int = 320
+    n_test: int = 160
+    num_classes: int = 10
+    budgets: Tuple[float, ...] = (0.65, 0.70, 0.75, 0.80)
+    pretrain_epochs: int = 6
+    compress_epochs: int = 3
+    batch_size: int = 32
+    seed: SeedLike = 0
+
+
+@dataclass(frozen=True)
+class BudgetPoint:
+    budget: float
+    accuracy: float
+    achieved_reduction: float
+
+
+def run_experiment(config: BudgetSweepConfig = BudgetSweepConfig()) -> List[BudgetPoint]:
+    """Compress the same pretrained model at each budget."""
+    train_data, test_data = make_cifar_like(
+        n_train=config.n_train, n_test=config.n_test,
+        image_size=config.image_size, num_classes=config.num_classes,
+        seed=config.seed,
+    )
+    pretrained = build_model(config.model, num_classes=config.num_classes, seed=1)
+    train_model(
+        pretrained, train_data, epochs=config.pretrain_epochs,
+        batch_size=config.batch_size, seed=config.seed,
+    )
+    baseline_state = pretrained.state_dict()
+
+    points: List[BudgetPoint] = []
+    for budget in config.budgets:
+        model = build_model(config.model, num_classes=config.num_classes, seed=1)
+        model.load_state_dict(baseline_state)
+        sites = trace_conv_sites(model, (config.image_size, config.image_size))
+        rank_map = uniform_tucker_ranks_for_budget(sites, budget)
+        reduction = achieved_tucker_reduction(sites, rank_map)
+        trainer = ADMMTrainer(model, rank_map, rho=0.5)
+        trainer.train(
+            train_data, epochs=config.compress_epochs,
+            batch_size=config.batch_size, lr=0.05, seed=config.seed,
+        )
+        trainer.project_weights()
+        decompose_model(model, rank_map)
+        train_model(
+            model, train_data, epochs=2, batch_size=config.batch_size,
+            lr=0.02, seed=config.seed,
+        )
+        points.append(
+            BudgetPoint(
+                budget=budget,
+                accuracy=evaluate(model, test_data, config.batch_size),
+                achieved_reduction=reduction,
+            )
+        )
+    return points
+
+
+def run(config: BudgetSweepConfig = BudgetSweepConfig()) -> Table:
+    """Regenerate the Sec. 7.2 budget/accuracy sweep."""
+    points = run_experiment(config)
+    table = Table(
+        ["budget", "top-1 (%)", "achieved FLOPs down"],
+        title="Sec. 7.2: accuracy vs compression budget "
+              "(slim ResNet-18, synthetic data)",
+    )
+    for p in points:
+        table.add_row([
+            f"{p.budget:.0%}", p.accuracy * 100,
+            f"{p.achieved_reduction * 100:.0f}%",
+        ])
+    return table

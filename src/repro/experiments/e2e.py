@@ -1,0 +1,57 @@
+"""Figures 8 and 9: end-to-end inference latency of the five CNNs.
+
+For each model: original network via cuDNN, TKD-compressed via cuDNN,
+via TVM, and via TDC (oracle and model tiling), all under the
+hardware-aware rank plan for the target device and the paper's
+per-model budgets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.common import E2E_MODELS, MODEL_BUDGETS
+from repro.gpusim.device import DeviceSpec
+from repro.inference.engine import E2EResult, estimate_e2e
+from repro.models.arch_specs import get_model_spec
+from repro.utils.tables import Table
+
+
+def run_models(
+    device: DeviceSpec,
+    models: Optional[List[str]] = None,
+    budgets: Optional[Dict[str, float]] = None,
+) -> Dict[str, E2EResult]:
+    """End-to-end estimates for the requested models on one device."""
+    models = list(models) if models is not None else list(E2E_MODELS)
+    budgets = budgets or MODEL_BUDGETS
+    results: Dict[str, E2EResult] = {}
+    for name in models:
+        spec = get_model_spec(name)
+        results[name] = estimate_e2e(
+            spec, device, budget=budgets.get(name, 0.6)
+        )
+    return results
+
+
+def run(device: DeviceSpec, models: Optional[List[str]] = None) -> Table:
+    """Regenerate Fig. 8 (A100) / Fig. 9 (2080Ti) as a table."""
+    results = run_models(device, models=models)
+    fig = "Figure 8" if device.name == "A100" else "Figure 9"
+    table = Table(
+        ["model", "original (ms)", "TK-cuDNN (ms)", "TK-TVM (ms)",
+         "TK-TDC-ORACLE (ms)", "TK-TDC-MODEL (ms)",
+         "speedup vs orig", "vs TK-cuDNN", "vs TK-TVM"],
+        title=f"{fig}: end-to-end inference latency ({device.name})",
+    )
+    for name, res in results.items():
+        ms = res.as_milliseconds()
+        table.add_row([
+            name,
+            ms["original"], ms["tucker_cudnn"], ms["tucker_tvm"],
+            ms["tucker_tdc_oracle"], ms["tucker_tdc_model"],
+            f"{res.speedup_over_original('tdc-oracle'):.2f}x",
+            f"{res.speedup_over_tucker_cudnn('tdc-oracle'):.2f}x",
+            f"{res.speedup_over_tucker_tvm('tdc-oracle'):.2f}x",
+        ])
+    return table

@@ -1,0 +1,77 @@
+"""Figure 4: runtime staircase as output channels grow.
+
+The paper fixes C=64 and H=W in {28, 14}, sweeps N from 32 to 256 in
+steps of 32 on the 2080Ti, and observes a *monotonic staircase*: wide
+plateaus where latency barely moves as N (and FLOPs) grow, because the
+optimized tiling re-absorbs the larger problem into the same number of
+waves.  This is the effect the co-design exploits ("do not over-reduce
+ranks — the latency will not improve").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.gpusim.device import RTX2080TI, DeviceSpec
+from repro.kernels.base import ConvShape
+from repro.perfmodel.tiling import select_tiling
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class StaircasePoint:
+    """One (N, latency) point of a staircase curve."""
+
+    h: int
+    w: int
+    c: int
+    n: int
+    latency: float
+
+
+def staircase_curve(
+    h: int,
+    w: int,
+    c: int = 64,
+    n_values: Sequence[int] = tuple(range(32, 257, 32)),
+    device: DeviceSpec = RTX2080TI,
+    method: str = "oracle",
+) -> List[StaircasePoint]:
+    """Latency of the optimized core conv as N sweeps (one Fig. 4 line)."""
+    points = []
+    for n in n_values:
+        shape = ConvShape(c=c, n=n, h=h, w=w)
+        choice = select_tiling(shape, device, method=method)
+        points.append(
+            StaircasePoint(h=h, w=w, c=c, n=n, latency=choice.simulated_latency)
+        )
+    return points
+
+
+def plateau_count(points: Sequence[StaircasePoint], tolerance: float = 0.10) -> int:
+    """Number of staircase plateaus (consecutive points within
+    ``tolerance`` of each other count as one plateau)."""
+    if not points:
+        return 0
+    plateaus = 1
+    for prev, cur in zip(points, points[1:]):
+        if prev.latency <= 0:
+            continue
+        if abs(cur.latency - prev.latency) / prev.latency > tolerance:
+            plateaus += 1
+    return plateaus
+
+
+def run(device: DeviceSpec = RTX2080TI) -> Table:
+    """Regenerate Figure 4's two curves as a table."""
+    table = Table(
+        ["output channels N", "28x28 latency (ms)", "14x14 latency (ms)"],
+        title=f"Figure 4: core-conv runtime vs output channels "
+              f"(C=64, {device.name})",
+    )
+    curve28 = staircase_curve(28, 28, device=device)
+    curve14 = staircase_curve(14, 14, device=device)
+    for p28, p14 in zip(curve28, curve14):
+        table.add_row([p28.n, p28.latency * 1e3, p14.latency * 1e3])
+    return table

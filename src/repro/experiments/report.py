@@ -1,0 +1,37 @@
+"""One-shot reproduction report: every latency-side artifact at once.
+
+``python -m repro.cli report`` regenerates Fig. 4, Figs. 6/7 (with
+average-speedup summaries), Figs. 8/9, the Sec. 5.5 oracle-vs-model
+study, and the ablations — everything that does not require training.
+The training experiments (Tables 2/3, budget sweep) run via their own
+CLI commands / benches since they take minutes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments import ablations, e2e, fig4, layerwise, oracle_gap
+from repro.gpusim.device import A100, RTX2080TI
+
+
+def generate_report(include_e2e: bool = True) -> str:
+    """Render the full latency-side reproduction report as text."""
+    sections: List[str] = []
+
+    sections.append(fig4.run(RTX2080TI).render())
+
+    for device in (A100, RTX2080TI):
+        sections.append(layerwise.run(device).render())
+        sections.append(layerwise.summary(device).render())
+        sections.append(oracle_gap.run(device).render())
+
+    if include_e2e:
+        for device in (A100, RTX2080TI):
+            sections.append(e2e.run(device).render())
+
+    sections.append(ablations.crsn_layout_ablation(A100).render())
+    sections.append(ablations.c_split_ablation(A100).render())
+    sections.append(ablations.top_fraction_ablation(A100).render())
+
+    return "\n\n".join(sections)

@@ -1,0 +1,31 @@
+"""Simulated GPU devices (A100 / RTX 2080Ti stand-ins).
+
+No physical GPU is available in this environment, so this package
+provides a deterministic latency simulator with CUDA-like resource
+semantics (occupancy, wave quantization, DRAM roofline, syncs,
+atomics, launch overhead).  All "measured" latencies in the
+reproduction come from :func:`repro.gpusim.engine.simulate_kernel`.
+"""
+
+from repro.gpusim.device import A100, DEVICES, RTX2080TI, DeviceSpec, get_device
+from repro.gpusim.engine import (
+    KernelLaunch,
+    LatencyBreakdown,
+    simulate_kernel,
+    simulate_sequence,
+)
+from repro.gpusim.occupancy import Occupancy, compute_occupancy
+
+__all__ = [
+    "A100",
+    "DEVICES",
+    "RTX2080TI",
+    "DeviceSpec",
+    "get_device",
+    "KernelLaunch",
+    "LatencyBreakdown",
+    "simulate_kernel",
+    "simulate_sequence",
+    "Occupancy",
+    "compute_occupancy",
+]

@@ -1,0 +1,82 @@
+"""CUDA occupancy calculator.
+
+Computes how many blocks of a given resource footprint fit on one SM,
+limited by resident threads, resident blocks, shared memory, and the
+register file — the same quantities ``nvcc``/the occupancy API report,
+which Sec. 5.3 says can be queried for the paper's Eq. (14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Occupancy result for one kernel configuration on one device."""
+
+    blocks_per_sm: int
+    threads_per_block: int
+    limiting_factor: str
+    device_name: str
+
+    @property
+    def resident_threads_per_sm(self) -> int:
+        return self.blocks_per_sm * self.threads_per_block
+
+    def fraction(self, device: DeviceSpec) -> float:
+        """Occupancy as a fraction of the SM's max resident threads."""
+        return self.resident_threads_per_sm / device.max_threads_per_sm
+
+
+def compute_occupancy(
+    device: DeviceSpec,
+    threads_per_block: int,
+    smem_per_block: int = 0,
+    regs_per_thread: int = 32,
+) -> Occupancy:
+    """Blocks-per-SM under the four classic occupancy limits.
+
+    Thread counts are warp-quantized (a 33-thread block reserves 64
+    thread slots), matching hardware behaviour.
+    """
+    threads_per_block = check_positive_int("threads_per_block", threads_per_block)
+    if smem_per_block < 0:
+        raise ValueError(f"smem_per_block must be >= 0, got {smem_per_block}")
+    if regs_per_thread < 0:
+        raise ValueError(f"regs_per_thread must be >= 0, got {regs_per_thread}")
+    if threads_per_block > device.max_threads_per_block:
+        raise ValueError(
+            f"block of {threads_per_block} threads exceeds device limit "
+            f"{device.max_threads_per_block}"
+        )
+    if smem_per_block > device.shared_mem_per_block:
+        raise ValueError(
+            f"block shared memory {smem_per_block} B exceeds device limit "
+            f"{device.shared_mem_per_block} B"
+        )
+
+    warps = -(-threads_per_block // device.warp_size)  # ceil
+    slots_per_block = warps * device.warp_size
+
+    limits = {
+        "threads": device.max_threads_per_sm // slots_per_block,
+        "blocks": device.max_blocks_per_sm,
+    }
+    if smem_per_block > 0:
+        limits["shared_memory"] = device.shared_mem_per_sm // smem_per_block
+    if regs_per_thread > 0:
+        regs_per_block = regs_per_thread * slots_per_block
+        limits["registers"] = device.registers_per_sm // regs_per_block
+
+    limiting = min(limits, key=lambda k: limits[k])
+    blocks = max(0, int(limits[limiting]))
+    return Occupancy(
+        blocks_per_sm=blocks,
+        threads_per_block=threads_per_block,
+        limiting_factor=limiting if blocks > 0 else f"{limiting} (does not fit)",
+        device_name=device.name,
+    )

@@ -1,0 +1,20 @@
+"""Inference execution plans and end-to-end latency estimation."""
+
+from repro.inference.engine import E2EResult, estimate_e2e
+from repro.inference.plan import (
+    CORE_BACKENDS,
+    ExecutionPlan,
+    PlannedKernel,
+    plan_dense_model,
+    plan_tucker_model,
+)
+
+__all__ = [
+    "E2EResult",
+    "estimate_e2e",
+    "CORE_BACKENDS",
+    "ExecutionPlan",
+    "PlannedKernel",
+    "plan_dense_model",
+    "plan_tucker_model",
+]

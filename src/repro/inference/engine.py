@@ -1,0 +1,110 @@
+"""End-to-end inference latency estimation (the Figs. 8/9 harness).
+
+``estimate_e2e`` produces the five bars of the end-to-end figures for
+one model on one device:
+
+- original network via cuDNN,
+- TKD-compressed network with cuDNN core convs,
+- TKD-compressed with TVM core convs,
+- TKD-compressed with TDC-ORACLE core convs,
+- TKD-compressed with TDC-MODEL core convs.
+
+All variants share one hardware-aware rank plan (selected against the
+device), mirroring the paper's setup where the same compressed model is
+executed by different kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.codesign.pipeline import layer_shapes_from_spec
+from repro.codesign.rank_selection import RankPlan, select_ranks
+from repro.gpusim.device import DeviceSpec
+from repro.inference.plan import ExecutionPlan, plan_dense_model, plan_tucker_model
+from repro.models.arch_specs import ModelSpec
+
+
+@dataclass
+class E2EResult:
+    """End-to-end latencies (seconds) for one model/device pair."""
+
+    model_name: str
+    device_name: str
+    budget: float
+    original: float
+    tucker_cudnn: float
+    tucker_tvm: float
+    tucker_tdc_oracle: float
+    tucker_tdc_model: float
+    rank_plan: RankPlan
+
+    def speedup_over_original(self, variant: str = "tdc-oracle") -> float:
+        return self.original / self._variant(variant)
+
+    def speedup_over_tucker_cudnn(self, variant: str = "tdc-oracle") -> float:
+        return self.tucker_cudnn / self._variant(variant)
+
+    def speedup_over_tucker_tvm(self, variant: str = "tdc-oracle") -> float:
+        return self.tucker_tvm / self._variant(variant)
+
+    def _variant(self, variant: str) -> float:
+        mapping = {
+            "original": self.original,
+            "cudnn": self.tucker_cudnn,
+            "tvm": self.tucker_tvm,
+            "tdc-oracle": self.tucker_tdc_oracle,
+            "tdc-model": self.tucker_tdc_model,
+        }
+        if variant not in mapping:
+            raise ValueError(
+                f"unknown variant {variant!r}; expected one of {sorted(mapping)}"
+            )
+        return mapping[variant]
+
+    def as_milliseconds(self) -> Dict[str, float]:
+        return {
+            "original": self.original * 1e3,
+            "tucker_cudnn": self.tucker_cudnn * 1e3,
+            "tucker_tvm": self.tucker_tvm * 1e3,
+            "tucker_tdc_oracle": self.tucker_tdc_oracle * 1e3,
+            "tucker_tdc_model": self.tucker_tdc_model * 1e3,
+        }
+
+
+def estimate_e2e(
+    spec: ModelSpec,
+    device: DeviceSpec,
+    budget: float = 0.6,
+    theta: float = 0.15,
+    rank_step: int = 32,
+    rank_plan: Optional[RankPlan] = None,
+) -> E2EResult:
+    """Estimate all five end-to-end variants for a model spec."""
+    if rank_plan is None:
+        layers = layer_shapes_from_spec(spec)
+        if not layers:
+            raise ValueError(f"{spec.name} has no decomposable convs")
+        rank_plan = select_ranks(
+            layers, device, budget=budget, theta=theta, rank_step=rank_step,
+        )
+
+    original = plan_dense_model(spec, device).total_latency()
+    variants = {}
+    for backend in ("cudnn", "tvm", "tdc-oracle", "tdc-model"):
+        variants[backend] = plan_tucker_model(
+            spec, rank_plan, device, core_backend=backend
+        ).total_latency()
+
+    return E2EResult(
+        model_name=spec.name,
+        device_name=device.name,
+        budget=budget,
+        original=original,
+        tucker_cudnn=variants["cudnn"],
+        tucker_tvm=variants["tvm"],
+        tucker_tdc_oracle=variants["tdc-oracle"],
+        tucker_tdc_model=variants["tdc-model"],
+        rank_plan=rank_plan,
+    )

@@ -1,0 +1,225 @@
+"""Execution plans: map every layer of a model spec to kernels.
+
+A plan is the repro-side analogue of the paper's generated C++/CUDA
+inference program: an ordered list of kernel invocations with their
+simulated latencies.  Two builders cover the Figs. 8/9 configurations:
+
+- :func:`plan_dense_model` — the original network, all convs through a
+  chosen backend (cuDNN IMPLICIT_GEMM for the paper's baseline).
+- :func:`plan_tucker_model` — the TKD-compressed network under a
+  :class:`~repro.codesign.rank_selection.RankPlan`; each decomposed
+  conv expands into 1x1 -> core -> 1x1 where the core backend is one of
+  ``tdc-model``, ``tdc-oracle``, ``tvm``, or ``cudnn`` (the four
+  compressed bars of the figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.codesign.rank_selection import RankPlan
+from repro.gpusim.device import DeviceSpec
+from repro.kernels.base import ConvShape
+from repro.kernels.cudnn import CuDNNGemmKernel
+from repro.kernels.pointwise import (
+    batchnorm_relu_latency,
+    fc_latency,
+    pointwise_latency,
+    pooling_latency,
+)
+from repro.kernels.tvm_direct import TVMDirectKernel
+from repro.models.arch_specs import LayerSpec, ModelSpec
+from repro.perfmodel.tiling import select_tiling
+from repro.kernels.tdc_direct import TDCDirectKernel
+
+CORE_BACKENDS = ("tdc-model", "tdc-oracle", "tvm", "cudnn")
+
+
+@dataclass(frozen=True)
+class PlannedKernel:
+    """One kernel invocation in an execution plan."""
+
+    layer: str
+    kind: str          # "conv" | "pointwise" | "core" | "pool" | "fc" | "bn_relu"
+    latency: float     # seconds, includes launch overhead
+
+
+@dataclass
+class ExecutionPlan:
+    """Ordered kernel schedule with total-latency accounting."""
+
+    model_name: str
+    device_name: str
+    variant: str
+    kernels: List[PlannedKernel] = field(default_factory=list)
+
+    def total_latency(self) -> float:
+        return sum(k.latency for k in self.kernels)
+
+    def latency_by_kind(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for k in self.kernels:
+            out[k.kind] = out.get(k.kind, 0.0) + k.latency
+        return out
+
+    def n_kernels(self) -> int:
+        return len(self.kernels)
+
+
+def _dense_conv_latency(layer: LayerSpec, device: DeviceSpec) -> float:
+    """Latency of one dense conv through cuDNN-style kernels."""
+    if layer.kernel == 1:
+        return pointwise_latency(
+            layer.in_channels, layer.out_channels,
+            layer.out_height, layer.out_width, device,
+        )
+    shape = ConvShape(
+        c=layer.in_channels, n=layer.out_channels,
+        h=layer.out_height, w=layer.out_width,
+        r=layer.kernel, s=layer.kernel,
+    )
+    return CuDNNGemmKernel().latency(shape, device)
+
+
+def _core_conv_latency(
+    shape: ConvShape, device: DeviceSpec, backend: str
+) -> float:
+    """Core-conv latency under one of the four compressed backends."""
+    if backend == "tdc-model":
+        return select_tiling(shape, device, method="model").simulated_latency
+    if backend == "tdc-oracle":
+        return select_tiling(shape, device, method="oracle").simulated_latency
+    if backend == "tvm":
+        return TVMDirectKernel.tuned(shape, device).latency(shape, device)
+    if backend == "cudnn":
+        return CuDNNGemmKernel().latency(shape, device)
+    raise ValueError(
+        f"unknown core backend {backend!r}; expected one of {CORE_BACKENDS}"
+    )
+
+
+def _aux_latency(layer: LayerSpec, device: DeviceSpec) -> Optional[PlannedKernel]:
+    if layer.kind == "pool":
+        return PlannedKernel(
+            layer=layer.name, kind="pool",
+            latency=pooling_latency(
+                layer.in_channels, layer.height, layer.width,
+                layer.kernel, layer.stride, device,
+            ),
+        )
+    if layer.kind == "fc":
+        return PlannedKernel(
+            layer=layer.name, kind="fc",
+            latency=fc_latency(layer.in_channels, layer.out_channels, device),
+        )
+    return None
+
+
+def plan_dense_model(
+    spec: ModelSpec, device: DeviceSpec, include_bn_relu: bool = True
+) -> ExecutionPlan:
+    """The original (uncompressed) network, convs via cuDNN."""
+    plan = ExecutionPlan(
+        model_name=spec.name, device_name=device.name, variant="original-cudnn"
+    )
+    for layer in spec.layers:
+        if layer.kind == "conv":
+            plan.kernels.append(
+                PlannedKernel(
+                    layer=layer.name,
+                    kind="pointwise" if layer.kernel == 1 else "conv",
+                    latency=_dense_conv_latency(layer, device),
+                )
+            )
+            if include_bn_relu:
+                plan.kernels.append(
+                    PlannedKernel(
+                        layer=f"{layer.name}.bn_relu", kind="bn_relu",
+                        latency=batchnorm_relu_latency(
+                            layer.out_channels, layer.out_height,
+                            layer.out_width, device,
+                        ),
+                    )
+                )
+        else:
+            aux = _aux_latency(layer, device)
+            if aux is not None:
+                plan.kernels.append(aux)
+    return plan
+
+
+def plan_tucker_model(
+    spec: ModelSpec,
+    rank_plan: RankPlan,
+    device: DeviceSpec,
+    core_backend: str = "tdc-model",
+    include_bn_relu: bool = True,
+) -> ExecutionPlan:
+    """The TKD-compressed network under a rank plan.
+
+    Layers the plan decomposed run as three kernels; skipped layers and
+    non-decomposable layers run dense.  The 1x1 stages always go
+    through cuDNN (the paper's fair-comparison setup).
+    """
+    decisions = {d.layer.name: d for d in rank_plan.decisions}
+    plan = ExecutionPlan(
+        model_name=spec.name, device_name=device.name,
+        variant=f"tucker-{core_backend}",
+    )
+    for layer in spec.layers:
+        if layer.kind == "conv":
+            decision = decisions.get(layer.name)
+            if decision is not None and decision.decomposed:
+                d1, d2 = int(decision.d1), int(decision.d2)
+                plan.kernels.append(
+                    PlannedKernel(
+                        layer=f"{layer.name}.pw1", kind="pointwise",
+                        latency=pointwise_latency(
+                            layer.in_channels, d1, layer.height, layer.width,
+                            device,
+                        ),
+                    )
+                )
+                core_shape = ConvShape(
+                    c=d1, n=d2, h=layer.out_height, w=layer.out_width,
+                    r=layer.kernel, s=layer.kernel,
+                )
+                plan.kernels.append(
+                    PlannedKernel(
+                        layer=f"{layer.name}.core", kind="core",
+                        latency=_core_conv_latency(core_shape, device, core_backend),
+                    )
+                )
+                plan.kernels.append(
+                    PlannedKernel(
+                        layer=f"{layer.name}.pw2", kind="pointwise",
+                        latency=pointwise_latency(
+                            d2, layer.out_channels,
+                            layer.out_height, layer.out_width, device,
+                        ),
+                    )
+                )
+            else:
+                plan.kernels.append(
+                    PlannedKernel(
+                        layer=layer.name,
+                        kind="pointwise" if layer.kernel == 1 else "conv",
+                        latency=_dense_conv_latency(layer, device),
+                    )
+                )
+            if include_bn_relu:
+                plan.kernels.append(
+                    PlannedKernel(
+                        layer=f"{layer.name}.bn_relu", kind="bn_relu",
+                        latency=batchnorm_relu_latency(
+                            layer.out_channels, layer.out_height,
+                            layer.out_width, device,
+                        ),
+                    )
+                )
+        else:
+            aux = _aux_latency(layer, device)
+            if aux is not None:
+                plan.kernels.append(aux)
+    return plan

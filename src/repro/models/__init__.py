@@ -1,0 +1,82 @@
+"""Model zoo: trainable slim CNNs + full-scale architecture specs.
+
+Trainable models (NumPy modules) run the accuracy experiments; the
+:mod:`repro.models.arch_specs` inventories describe the five paper
+models at ImageNet scale for the latency studies.
+"""
+
+from repro.models.arch_specs import (
+    PAPER_CONV_SHAPES,
+    LayerSpec,
+    ModelSpec,
+    densenet121_spec,
+    densenet201_spec,
+    get_model_spec,
+    resnet18_spec,
+    resnet50_spec,
+    vgg16_spec,
+)
+from repro.models.blocks import (
+    BasicBlock,
+    Bottleneck,
+    ConvBNReLU,
+    DenseBlock,
+    DenseLayer,
+    Transition,
+)
+from repro.models.densenet import DenseNet, densenet121_slim, densenet201_slim, densenet_tiny
+from repro.models.introspection import (
+    ConvSite,
+    find_module,
+    model_conv_flops,
+    replace_module,
+    trace_conv_sites,
+)
+from repro.models.registry import available_models, build_model
+from repro.models.resnet import (
+    ResNet,
+    resnet18_slim,
+    resnet20,
+    resnet20_slim,
+    resnet50_slim,
+    resnet_tiny,
+)
+from repro.models.vgg import VGG, vgg16_slim, vgg_tiny
+
+__all__ = [
+    "PAPER_CONV_SHAPES",
+    "LayerSpec",
+    "ModelSpec",
+    "densenet121_spec",
+    "densenet201_spec",
+    "get_model_spec",
+    "resnet18_spec",
+    "resnet50_spec",
+    "vgg16_spec",
+    "BasicBlock",
+    "Bottleneck",
+    "ConvBNReLU",
+    "DenseBlock",
+    "DenseLayer",
+    "Transition",
+    "DenseNet",
+    "densenet121_slim",
+    "densenet201_slim",
+    "densenet_tiny",
+    "ConvSite",
+    "find_module",
+    "model_conv_flops",
+    "replace_module",
+    "trace_conv_sites",
+    "available_models",
+    "build_model",
+    "ResNet",
+    "resnet18_slim",
+    "resnet20",
+    "resnet20_slim",
+    "resnet50_slim",
+    "resnet_tiny",
+    "VGG",
+    "vgg16_slim",
+    "vgg_tiny",
+]

@@ -1,0 +1,241 @@
+"""Composite building blocks: conv-bn-relu, residual and dense blocks.
+
+Branching blocks implement their own backward passes (the framework
+has no tape), which the gradcheck tests validate end to end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.conv import Conv2d
+from repro.nn.layers import AvgPool2d, BatchNorm2d, ReLU
+from repro.nn.module import Identity, Module, Sequential
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+class ConvBNReLU(Sequential):
+    """conv -> batchnorm -> relu, the standard VGG/stem unit."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 1,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(
+            Conv2d(
+                in_channels,
+                out_channels,
+                kernel_size,
+                stride=stride,
+                padding=padding,
+                bias=False,
+                seed=seed,
+            ),
+            BatchNorm2d(out_channels),
+            ReLU(),
+        )
+
+
+class BasicBlock(Module):
+    """ResNet basic block: two 3x3 convs plus identity/projection skip."""
+
+    expansion = 1
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        s1, s2, s3 = spawn_rngs(seed, 3)
+        self.conv1 = Conv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1,
+            bias=False, seed=s1,
+        )
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(
+            out_channels, out_channels, 3, stride=1, padding=1,
+            bias=False, seed=s2,
+        )
+        self.bn2 = BatchNorm2d(out_channels)
+        self.relu2 = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut: Module = Sequential(
+                Conv2d(
+                    in_channels, out_channels, 1, stride=stride, padding=0,
+                    bias=False, seed=s3,
+                ),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        main = self.bn2.forward(
+            self.conv2.forward(
+                self.relu1.forward(self.bn1.forward(self.conv1.forward(x)))
+            )
+        )
+        skip = self.shortcut.forward(x)
+        return self.relu2.forward(main + skip)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = self.relu2.backward(grad)
+        g_main = self.conv1.backward(
+            self.bn1.backward(
+                self.relu1.backward(self.conv2.backward(self.bn2.backward(g)))
+            )
+        )
+        g_skip = self.shortcut.backward(g)
+        return g_main + g_skip
+
+
+class Bottleneck(Module):
+    """ResNet bottleneck: 1x1 reduce -> 3x3 -> 1x1 expand (x4)."""
+
+    expansion = 4
+
+    def __init__(
+        self,
+        in_channels: int,
+        width: int,
+        stride: int = 1,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        out_channels = width * self.expansion
+        s1, s2, s3, s4 = spawn_rngs(seed, 4)
+        self.conv1 = Conv2d(in_channels, width, 1, bias=False, seed=s1)
+        self.bn1 = BatchNorm2d(width)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(
+            width, width, 3, stride=stride, padding=1, bias=False, seed=s2
+        )
+        self.bn2 = BatchNorm2d(width)
+        self.relu2 = ReLU()
+        self.conv3 = Conv2d(width, out_channels, 1, bias=False, seed=s3)
+        self.bn3 = BatchNorm2d(out_channels)
+        self.relu3 = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut: Module = Sequential(
+                Conv2d(
+                    in_channels, out_channels, 1, stride=stride, bias=False,
+                    seed=s4,
+                ),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+        self.out_channels = out_channels
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = self.relu1.forward(self.bn1.forward(self.conv1.forward(x)))
+        h = self.relu2.forward(self.bn2.forward(self.conv2.forward(h)))
+        main = self.bn3.forward(self.conv3.forward(h))
+        skip = self.shortcut.forward(x)
+        return self.relu3.forward(main + skip)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = self.relu3.backward(grad)
+        gm = self.conv3.backward(self.bn3.backward(g))
+        gm = self.conv2.backward(self.bn2.backward(self.relu2.backward(gm)))
+        gm = self.conv1.backward(self.bn1.backward(self.relu1.backward(gm)))
+        gs = self.shortcut.backward(g)
+        return gm + gs
+
+
+class DenseLayer(Module):
+    """DenseNet layer: BN -> ReLU -> 3x3 conv producing ``growth`` maps.
+
+    (The slim variants skip the 1x1 bottleneck of the full DenseNet to
+    keep the trainable models small; the full-scale architecture specs
+    in :mod:`repro.models.arch_specs` include the bottleneck convs.)
+    """
+
+    def __init__(self, in_channels: int, growth: int, seed: SeedLike = None):
+        super().__init__()
+        self.bn = BatchNorm2d(in_channels)
+        self.relu = ReLU()
+        self.conv = Conv2d(
+            in_channels, growth, 3, stride=1, padding=1, bias=False, seed=seed
+        )
+        self.growth = growth
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.conv.forward(self.relu.forward(self.bn.forward(x)))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.bn.backward(self.relu.backward(self.conv.backward(grad)))
+
+
+class DenseBlock(Module):
+    """Concatenative dense block: layer i sees all previous feature maps."""
+
+    def __init__(
+        self, in_channels: int, n_layers: int, growth: int, seed: SeedLike = None
+    ) -> None:
+        super().__init__()
+        self.n_layers = int(n_layers)
+        self.growth = int(growth)
+        self.in_channels = int(in_channels)
+        seeds = spawn_rngs(seed, n_layers)
+        self._layer_names: List[str] = []
+        for i in range(n_layers):
+            layer = DenseLayer(in_channels + i * growth, growth, seed=seeds[i])
+            name = f"dense{i}"
+            self.register_module(name, layer)
+            self._layer_names.append(name)
+        self.out_channels = in_channels + n_layers * growth
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        features = x
+        self._widths = [x.shape[1]]
+        for name in self._layer_names:
+            new = self._modules[name].forward(features)
+            self._widths.append(new.shape[1])
+            features = np.concatenate([features, new], axis=1)
+        return features
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        # Walk layers in reverse, splitting the concatenated gradient.
+        for i in reversed(range(self.n_layers)):
+            width_before = self.in_channels + i * self.growth
+            g_prev = grad[:, :width_before]
+            g_new = grad[:, width_before:width_before + self.growth]
+            g_in = self._modules[self._layer_names[i]].backward(
+                np.ascontiguousarray(g_new)
+            )
+            grad = np.ascontiguousarray(g_prev) + g_in
+        return grad
+
+
+class Transition(Module):
+    """DenseNet transition: BN -> ReLU -> 1x1 conv -> 2x2 avg pool."""
+
+    def __init__(self, in_channels: int, out_channels: int, seed: SeedLike = None):
+        super().__init__()
+        self.bn = BatchNorm2d(in_channels)
+        self.relu = ReLU()
+        self.conv = Conv2d(in_channels, out_channels, 1, bias=False, seed=seed)
+        self.pool = AvgPool2d(2, stride=2)
+        self.out_channels = out_channels
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.pool.forward(
+            self.conv.forward(self.relu.forward(self.bn.forward(x)))
+        )
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.bn.backward(
+            self.relu.backward(self.conv.backward(self.pool.backward(grad)))
+        )

@@ -1,0 +1,85 @@
+"""DenseNet family (slim presets for CPU training)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.models.blocks import ConvBNReLU, DenseBlock, Transition
+from repro.nn.layers import BatchNorm2d, GlobalAvgPool2d, Linear, ReLU
+from repro.nn.module import Module, Sequential
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+class DenseNet(Module):
+    """DenseNet with concatenative blocks and halving transitions."""
+
+    def __init__(
+        self,
+        block_layers: Sequence[int],
+        growth: int = 8,
+        stem_width: int = 16,
+        reduction: float = 0.5,
+        num_classes: int = 10,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < reduction <= 1.0:
+            raise ValueError(f"reduction must be in (0, 1], got {reduction}")
+        seeds = spawn_rngs(seed, 2 * len(block_layers) + 2)
+        seed_iter = iter(seeds)
+        self.stem = ConvBNReLU(3, stem_width, 3, 1, 1, seed=next(seed_iter))
+        stages: List[Module] = []
+        ch = stem_width
+        for i, n_layers in enumerate(block_layers):
+            block = DenseBlock(ch, n_layers, growth, seed=next(seed_iter))
+            stages.append(block)
+            ch = block.out_channels
+            if i != len(block_layers) - 1:
+                out_ch = max(4, int(ch * reduction))
+                stages.append(Transition(ch, out_ch, seed=next(seed_iter)))
+                ch = out_ch
+        self.stages = Sequential(*stages)
+        self.final_bn = BatchNorm2d(ch)
+        self.final_relu = ReLU()
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(ch, num_classes, seed=seeds[-1])
+        self.feature_channels = ch
+        self.num_classes = num_classes
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = self.stem.forward(x)
+        h = self.stages.forward(h)
+        h = self.final_relu.forward(self.final_bn.forward(h))
+        h = self.pool.forward(h)
+        return self.fc.forward(h)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = self.fc.backward(grad)
+        g = self.pool.backward(g)
+        g = self.final_bn.backward(self.final_relu.backward(g))
+        g = self.stages.backward(g)
+        return self.stem.backward(g)
+
+
+def densenet121_slim(num_classes: int = 10, seed: SeedLike = 0) -> DenseNet:
+    """DenseNet-121 block pattern [6,12,24,16] scaled down 4x in depth."""
+    return DenseNet(
+        [2, 3, 6, 4], growth=8, stem_width=16,
+        num_classes=num_classes, seed=seed,
+    )
+
+
+def densenet201_slim(num_classes: int = 10, seed: SeedLike = 0) -> DenseNet:
+    """DenseNet-201 block pattern [6,12,48,32] scaled down 6x in depth."""
+    return DenseNet(
+        [1, 2, 8, 5], growth=8, stem_width=16,
+        num_classes=num_classes, seed=seed,
+    )
+
+
+def densenet_tiny(num_classes: int = 4, seed: SeedLike = 0) -> DenseNet:
+    """Two-block toy DenseNet for unit tests."""
+    return DenseNet([2, 2], growth=4, stem_width=8,
+                    num_classes=num_classes, seed=seed)

@@ -1,0 +1,160 @@
+"""Introspection of trainable models: conv inventory with traced shapes.
+
+The co-design pipeline needs, for every dense conv in a *trainable*
+model, its input spatial extent.  We trace a dummy forward pass and
+read the shapes each :class:`Conv2d` saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.tucker_conv import TuckerConv2d
+
+
+@dataclass
+class ConvSite:
+    """A dense conv layer inside a model, with its traced input size."""
+
+    name: str
+    layer: Conv2d
+    height: int
+    width: int
+
+    @property
+    def in_channels(self) -> int:
+        return self.layer.in_channels
+
+    @property
+    def out_channels(self) -> int:
+        return self.layer.out_channels
+
+    @property
+    def kernel_size(self) -> int:
+        return self.layer.kernel_size
+
+    def flops(self) -> int:
+        return self.layer.flops(self.height, self.width)
+
+
+def trace_conv_sites(
+    model: Module, image_hw: Tuple[int, int], in_channels: int = 3,
+    min_channels: int = 1, spatial_only: bool = True,
+) -> List[ConvSite]:
+    """Run a dummy forward pass and inventory the dense convs.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`Module`; it is switched to eval mode for tracing.
+    image_hw:
+        Input spatial extent ``(H, W)``.
+    min_channels:
+        Only report convs with at least this many in and out channels
+        (the paper's rank grid works in steps of 32, so the pipeline
+        passes 32 here for full-scale models, smaller for slim ones).
+    spatial_only:
+        When True, skip 1x1 convs (they have no Tucker core to speed up).
+    """
+    was_training = model.training
+    model.eval()
+    shapes: Dict[int, Tuple[int, int]] = {}
+
+    # Temporarily wrap Conv2d.forward to record input spatial dims.
+    original_forward = Conv2d.forward
+
+    def tracing_forward(self: Conv2d, x: np.ndarray) -> np.ndarray:
+        shapes[id(self)] = (x.shape[2], x.shape[3])
+        return original_forward(self, x)
+
+    Conv2d.forward = tracing_forward  # type: ignore[method-assign]
+    try:
+        dummy = np.zeros((1, in_channels, image_hw[0], image_hw[1]))
+        model.forward(dummy)
+    finally:
+        Conv2d.forward = original_forward  # type: ignore[method-assign]
+        if was_training:
+            model.train()
+
+    sites: List[ConvSite] = []
+    for name, mod in model.named_modules():
+        if not isinstance(mod, Conv2d):
+            continue
+        if id(mod) not in shapes:
+            continue
+        if spatial_only and mod.kernel_size == 1:
+            continue
+        if mod.in_channels < min_channels or mod.out_channels < min_channels:
+            continue
+        h, w = shapes[id(mod)]
+        sites.append(ConvSite(name=name, layer=mod, height=h, width=w))
+    return sites
+
+
+def find_module(model: Module, dotted_name: str) -> Module:
+    """Resolve a dotted module path (as produced by ``named_modules``)."""
+    for name, mod in model.named_modules():
+        if name == dotted_name:
+            return mod
+    raise KeyError(f"module {dotted_name!r} not found")
+
+
+def replace_module(model: Module, dotted_name: str, new: Module) -> None:
+    """Replace the submodule at ``dotted_name`` with ``new`` in place."""
+    if not dotted_name:
+        raise ValueError("cannot replace the root module")
+    parts = dotted_name.split(".")
+    parent: Module = model
+    for part in parts[:-1]:
+        child = parent._modules.get(part)
+        if child is None:
+            raise KeyError(f"module {dotted_name!r} not found")
+        parent = child
+    leaf = parts[-1]
+    if leaf not in parent._modules:
+        raise KeyError(f"module {dotted_name!r} not found")
+    parent.register_module(leaf, new)
+
+
+def model_conv_flops(model: Module, image_hw: Tuple[int, int],
+                     in_channels: int = 3) -> int:
+    """Total conv FLOPs of a trainable model at the given input size.
+
+    Counts both dense and Tucker-format convs (using each layer's own
+    ``flops`` accounting), so budgets can be checked after compression.
+    """
+    was_training = model.training
+    model.eval()
+    shapes: Dict[int, Tuple[int, int]] = {}
+    orig_conv = Conv2d.forward
+    orig_tucker = TuckerConv2d.forward
+
+    def trace_conv(self: Conv2d, x: np.ndarray) -> np.ndarray:
+        shapes[id(self)] = (x.shape[2], x.shape[3])
+        return orig_conv(self, x)
+
+    def trace_tucker(self: TuckerConv2d, x: np.ndarray) -> np.ndarray:
+        shapes[id(self)] = (x.shape[2], x.shape[3])
+        return orig_tucker(self, x)
+
+    Conv2d.forward = trace_conv  # type: ignore[method-assign]
+    TuckerConv2d.forward = trace_tucker  # type: ignore[method-assign]
+    try:
+        model.forward(np.zeros((1, in_channels, image_hw[0], image_hw[1])))
+    finally:
+        Conv2d.forward = orig_conv  # type: ignore[method-assign]
+        TuckerConv2d.forward = orig_tucker  # type: ignore[method-assign]
+        if was_training:
+            model.train()
+
+    total = 0
+    for _, mod in model.named_modules():
+        if isinstance(mod, (Conv2d, TuckerConv2d)) and id(mod) in shapes:
+            h, w = shapes[id(mod)]
+            total += mod.flops(h, w)
+    return total

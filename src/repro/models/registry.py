@@ -1,0 +1,42 @@
+"""Registry of trainable model builders, keyed by preset name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.models.densenet import densenet121_slim, densenet201_slim, densenet_tiny
+from repro.models.resnet import (
+    resnet18_slim,
+    resnet20,
+    resnet20_slim,
+    resnet50_slim,
+    resnet_tiny,
+)
+from repro.models.vgg import vgg16_slim, vgg_tiny
+from repro.nn.module import Module
+from repro.utils.rng import SeedLike
+
+_REGISTRY: Dict[str, Callable[..., Module]] = {
+    "resnet20": resnet20,
+    "resnet20_slim": resnet20_slim,
+    "resnet18_slim": resnet18_slim,
+    "resnet50_slim": resnet50_slim,
+    "resnet_tiny": resnet_tiny,
+    "vgg16_slim": vgg16_slim,
+    "vgg_tiny": vgg_tiny,
+    "densenet121_slim": densenet121_slim,
+    "densenet201_slim": densenet201_slim,
+    "densenet_tiny": densenet_tiny,
+}
+
+
+def available_models() -> List[str]:
+    """Names accepted by :func:`build_model`."""
+    return sorted(_REGISTRY)
+
+
+def build_model(name: str, num_classes: int = 10, seed: SeedLike = 0) -> Module:
+    """Instantiate a trainable model preset by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    return _REGISTRY[name](num_classes=num_classes, seed=seed)

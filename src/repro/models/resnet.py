@@ -1,0 +1,109 @@
+"""ResNet family: CIFAR-style ResNet-20 and slim ResNet-18/50 variants.
+
+The trainable models here are intentionally *slim* so the ADMM and
+comparator experiments finish on CPU: widths and input resolution are
+scaled down while the block structure (and therefore the compression
+behaviour) matches the paper's models.  Full-scale layer inventories
+for the latency studies live in :mod:`repro.models.arch_specs`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Type, Union
+
+import numpy as np
+
+from repro.models.blocks import BasicBlock, Bottleneck, ConvBNReLU
+from repro.nn.layers import Flatten, GlobalAvgPool2d, Linear
+from repro.nn.module import Module, Sequential
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+class ResNet(Module):
+    """Generic ResNet over basic or bottleneck blocks.
+
+    ``stage_widths[i]`` is the (inner) width of stage ``i``; stage 0
+    keeps stride 1, later stages downsample by 2.
+    """
+
+    def __init__(
+        self,
+        block: Type[Union[BasicBlock, Bottleneck]],
+        stage_blocks: Sequence[int],
+        stage_widths: Sequence[int],
+        num_classes: int = 10,
+        stem_width: int = 16,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        if len(stage_blocks) != len(stage_widths):
+            raise ValueError("stage_blocks and stage_widths length mismatch")
+        seeds = spawn_rngs(seed, 2 + sum(stage_blocks))
+        seed_iter = iter(seeds)
+        self.stem = ConvBNReLU(3, stem_width, 3, 1, 1, seed=next(seed_iter))
+
+        layers: List[Module] = []
+        in_ch = stem_width
+        for stage, (n_blocks, width) in enumerate(zip(stage_blocks, stage_widths)):
+            for b in range(n_blocks):
+                stride = 2 if (stage > 0 and b == 0) else 1
+                blk = block(in_ch, width, stride=stride, seed=next(seed_iter))
+                in_ch = width * block.expansion
+                layers.append(blk)
+        self.blocks = Sequential(*layers)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(in_ch, num_classes, seed=seeds[-1])
+        self.feature_channels = in_ch
+        self.num_classes = num_classes
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = self.stem.forward(x)
+        h = self.blocks.forward(h)
+        h = self.pool.forward(h)
+        return self.fc.forward(h)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = self.fc.backward(grad)
+        g = self.pool.backward(g)
+        g = self.blocks.backward(g)
+        return self.stem.backward(g)
+
+
+def resnet20(num_classes: int = 10, seed: SeedLike = 0) -> ResNet:
+    """CIFAR ResNet-20: 3 stages x 3 basic blocks, widths 16/32/64."""
+    return ResNet(
+        BasicBlock, [3, 3, 3], [16, 32, 64],
+        num_classes=num_classes, stem_width=16, seed=seed,
+    )
+
+
+def resnet20_slim(num_classes: int = 10, seed: SeedLike = 0) -> ResNet:
+    """Slimmed ResNet-20 (widths 8/16/32) for fast CPU experiments."""
+    return ResNet(
+        BasicBlock, [3, 3, 3], [8, 16, 32],
+        num_classes=num_classes, stem_width=8, seed=seed,
+    )
+
+
+def resnet18_slim(num_classes: int = 10, seed: SeedLike = 0) -> ResNet:
+    """ResNet-18 block structure ([2,2,2,2]) at reduced width."""
+    return ResNet(
+        BasicBlock, [2, 2, 2, 2], [16, 32, 64, 128],
+        num_classes=num_classes, stem_width=16, seed=seed,
+    )
+
+
+def resnet50_slim(num_classes: int = 10, seed: SeedLike = 0) -> ResNet:
+    """ResNet-50 bottleneck structure ([3,4,6,3]) at reduced width."""
+    return ResNet(
+        Bottleneck, [3, 4, 6, 3], [8, 16, 32, 64],
+        num_classes=num_classes, stem_width=16, seed=seed,
+    )
+
+
+def resnet_tiny(num_classes: int = 4, seed: SeedLike = 0) -> ResNet:
+    """Two-stage toy ResNet for unit tests (trains in seconds)."""
+    return ResNet(
+        BasicBlock, [1, 1], [8, 16],
+        num_classes=num_classes, stem_width=8, seed=seed,
+    )

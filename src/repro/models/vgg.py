@@ -1,0 +1,77 @@
+"""VGG family (slim presets for CPU training)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.models.blocks import ConvBNReLU
+from repro.nn.layers import Flatten, GlobalAvgPool2d, Linear, MaxPool2d
+from repro.nn.module import Module, Sequential
+from repro.utils.rng import SeedLike, spawn_rngs
+
+# "M" marks a 2x2 max-pool; numbers are conv widths.
+VGG16_CFG: List[Union[int, str]] = [
+    64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+    512, 512, 512, "M", 512, 512, 512, "M",
+]
+
+
+def _scale_cfg(cfg: Sequence[Union[int, str]], scale: float) -> List[Union[int, str]]:
+    out: List[Union[int, str]] = []
+    for item in cfg:
+        if item == "M":
+            out.append("M")
+        else:
+            out.append(max(4, int(round(int(item) * scale))))
+    return out
+
+
+class VGG(Module):
+    """Plain VGG: conv-bn-relu stacks with max-pool stage boundaries."""
+
+    def __init__(
+        self,
+        cfg: Sequence[Union[int, str]],
+        num_classes: int = 10,
+        in_channels: int = 3,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        n_convs = sum(1 for item in cfg if item != "M")
+        seeds = spawn_rngs(seed, n_convs + 1)
+        seed_iter = iter(seeds)
+        layers: List[Module] = []
+        ch = in_channels
+        for item in cfg:
+            if item == "M":
+                layers.append(MaxPool2d(2, stride=2))
+            else:
+                layers.append(ConvBNReLU(ch, int(item), 3, 1, 1, seed=next(seed_iter)))
+                ch = int(item)
+        self.features = Sequential(*layers)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(ch, num_classes, seed=seeds[-1])
+        self.feature_channels = ch
+        self.num_classes = num_classes
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = self.features.forward(x)
+        h = self.pool.forward(h)
+        return self.fc.forward(h)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = self.fc.backward(grad)
+        g = self.pool.backward(g)
+        return self.features.backward(g)
+
+
+def vgg16_slim(num_classes: int = 10, seed: SeedLike = 0) -> VGG:
+    """VGG-16 layer structure at 1/8 width (trains on CPU)."""
+    return VGG(_scale_cfg(VGG16_CFG, 0.125), num_classes=num_classes, seed=seed)
+
+
+def vgg_tiny(num_classes: int = 4, seed: SeedLike = 0) -> VGG:
+    """Four-conv toy VGG for unit tests."""
+    return VGG([8, "M", 16, "M", 16, 16], num_classes=num_classes, seed=seed)

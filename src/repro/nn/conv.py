@@ -1,0 +1,101 @@
+"""Standard 2-D convolution layer (the uncompressed baseline layer)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.functional import conv2d_backward, conv2d_forward, conv_out_size
+from repro.nn.init import kaiming_normal, zeros
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_positive_int
+
+
+class Conv2d(Module):
+    """Cross-correlation conv layer with NCHW activations.
+
+    Weight shape is ``(out_channels, in_channels, kernel, kernel)``.
+    This is the layer the TDC pipeline decomposes into
+    :class:`repro.nn.tucker_conv.TuckerConv2d`.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = check_positive_int("in_channels", in_channels)
+        self.out_channels = check_positive_int("out_channels", out_channels)
+        self.kernel_size = check_positive_int("kernel_size", kernel_size)
+        self.stride = check_positive_int("stride", stride)
+        if padding < 0:
+            raise ValueError(f"padding must be >= 0, got {padding}")
+        self.padding = int(padding)
+        self.weight = Parameter(
+            kaiming_normal(
+                (out_channels, in_channels, kernel_size, kernel_size), seed=seed
+            )
+        )
+        self.bias: Optional[Parameter] = (
+            Parameter(zeros((out_channels,))) if bias else None
+        )
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int]]] = None
+
+    # -- shape helpers ------------------------------------------------
+    def output_shape(self, h: int, w: int) -> Tuple[int, int]:
+        """Spatial output extent for an (h, w) input."""
+        return (
+            conv_out_size(h, self.kernel_size, self.stride, self.padding),
+            conv_out_size(w, self.kernel_size, self.stride, self.padding),
+        )
+
+    def flops(self, h: int, w: int) -> int:
+        """Multiply-accumulate FLOPs (2 per MAC) for an (h, w) input."""
+        oh, ow = self.output_shape(h, w)
+        return (
+            2
+            * oh
+            * ow
+            * self.out_channels
+            * self.in_channels
+            * self.kernel_size
+            * self.kernel_size
+        )
+
+    # -- compute -------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y, cols = conv2d_forward(
+            x, self.weight.data, stride=self.stride, padding=self.padding
+        )
+        self._cache = (cols, x.shape)
+        if self.bias is not None:
+            y = y + self.bias.data[None, :, None, None]
+        return y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cols, x_shape = self._cache
+        if self.bias is not None:
+            self.bias.accumulate(grad.sum(axis=(0, 2, 3)))
+        grad_x, grad_w = conv2d_backward(
+            grad, cols, self.weight.data, x_shape,
+            stride=self.stride, padding=self.padding,
+        )
+        self.weight.accumulate(grad_w)
+        self._cache = None
+        return grad_x
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding})"
+        )

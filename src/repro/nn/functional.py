@@ -1,0 +1,285 @@
+"""Vectorized functional ops for the NumPy CNN framework.
+
+All activation tensors use NCHW layout, float64 by default (float32
+optional); convolution is cross-correlation (deep-learning convention).
+The im2col path turns convolution into a single GEMM, which is the
+vectorization idiom the HPC guides recommend (no Python loops over
+pixels; only an R*S loop in col2im, which is tiny).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+
+def conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial extent of a convolution/pooling along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(
+            f"invalid conv geometry: size={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def pad_nchw(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two spatial axes of an NCHW tensor."""
+    if padding == 0:
+        return x
+    if padding < 0:
+        raise ValueError(f"padding must be >= 0, got {padding}")
+    return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Unfold NCHW input into convolution columns.
+
+    Returns an array of shape ``(B, C*kh*kw, OH*OW)`` where each column
+    is the receptive field of one output pixel.  Built with
+    ``sliding_window_view`` so no data is copied until the final
+    reshape.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"im2col expects NCHW input, got {x.ndim}-D")
+    xp = pad_nchw(x, padding)
+    b, c, h, w = xp.shape
+    oh = conv_out_size(x.shape[2], kh, stride, padding)
+    ow = conv_out_size(x.shape[3], kw, stride, padding)
+    # (B, C, H-kh+1, W-kw+1, kh, kw) view, then stride-subsample.
+    windows = sliding_window_view(xp, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    windows = windows[:, :, :oh, :ow, :, :]
+    # -> (B, C, kh, kw, OH, OW) -> (B, C*kh*kw, OH*OW)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(b, c * kh * kw, oh * ow)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back to NCHW.
+
+    Used in the convolution backward pass to accumulate input
+    gradients.  Only loops over the (kh, kw) filter offsets.
+    """
+    b, c, h, w = x_shape
+    oh = conv_out_size(h, kh, stride, padding)
+    ow = conv_out_size(w, kw, stride, padding)
+    if cols.shape != (b, c * kh * kw, oh * ow):
+        raise ValueError(
+            f"cols shape {cols.shape} incompatible with x_shape {x_shape}"
+        )
+    hp, wp = h + 2 * padding, w + 2 * padding
+    xp = np.zeros((b, c, hp, wp), dtype=cols.dtype)
+    cols6 = cols.reshape(b, c, kh, kw, oh, ow)
+    for i in range(kh):
+        for j in range(kw):
+            xp[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += (
+                cols6[:, :, i, j]
+            )
+    if padding == 0:
+        return xp
+    return xp[:, :, padding : padding + h, padding : padding + w]
+
+
+def conv2d_forward(
+    x: np.ndarray, weight: np.ndarray, stride: int = 1, padding: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cross-correlation forward pass via im2col + GEMM.
+
+    ``weight`` has shape ``(N, C, R, S)``.  Returns ``(y, cols)`` where
+    ``cols`` is cached for the backward pass.
+    """
+    if weight.ndim != 4:
+        raise ValueError(f"weight must be 4-D (N,C,R,S), got {weight.shape}")
+    n, c, r, s = weight.shape
+    if x.shape[1] != c:
+        raise ValueError(
+            f"input has {x.shape[1]} channels, weight expects {c}"
+        )
+    cols = im2col(x, r, s, stride=stride, padding=padding)
+    b = x.shape[0]
+    oh = conv_out_size(x.shape[2], r, stride, padding)
+    ow = conv_out_size(x.shape[3], s, stride, padding)
+    w_mat = weight.reshape(n, c * r * s)
+    # (B, N, OH*OW) via batched GEMM
+    y = np.einsum("nk,bkl->bnl", w_mat, cols, optimize=True)
+    return y.reshape(b, n, oh, ow), cols
+
+
+def conv2d_backward(
+    grad_y: np.ndarray,
+    cols: np.ndarray,
+    weight: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    stride: int = 1,
+    padding: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Backward pass of :func:`conv2d_forward`.
+
+    Returns ``(grad_x, grad_weight)``.
+    """
+    n, c, r, s = weight.shape
+    b = grad_y.shape[0]
+    g = grad_y.reshape(b, n, -1)
+    w_mat = weight.reshape(n, c * r * s)
+    grad_w = np.einsum("bnl,bkl->nk", g, cols, optimize=True).reshape(weight.shape)
+    grad_cols = np.einsum("nk,bnl->bkl", w_mat, g, optimize=True)
+    grad_x = col2im(grad_cols, x_shape, r, s, stride=stride, padding=padding)
+    return grad_x, grad_w
+
+
+def conv2d_reference(
+    x: np.ndarray, weight: np.ndarray, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Straightforward (loopy over R,S) reference convolution.
+
+    Independent of the im2col path; the test suite cross-checks the two
+    implementations and every simulated GPU kernel against this.
+    """
+    n, c, r, s = weight.shape
+    xp = pad_nchw(np.asarray(x), padding)
+    b = xp.shape[0]
+    oh = conv_out_size(x.shape[2], r, stride, padding)
+    ow = conv_out_size(x.shape[3], s, stride, padding)
+    y = np.zeros((b, n, oh, ow), dtype=np.result_type(x, weight))
+    for i in range(r):
+        for j in range(s):
+            patch = xp[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride]
+            y += np.einsum("bchw,nc->bnhw", patch, weight[:, :, i, j], optimize=True)
+    return y
+
+
+def pointwise_conv_forward(
+    x: np.ndarray, weight: np.ndarray
+) -> np.ndarray:
+    """1x1 convolution (channel mixing): ``y[b,n] = sum_c W[n,c] x[b,c]``.
+
+    ``weight`` is ``(N, C)``.  This is the Eq. (2)/(4) operation of the
+    Tucker-format layer.
+    """
+    if weight.ndim != 2:
+        raise ValueError(f"pointwise weight must be 2-D, got {weight.shape}")
+    if x.shape[1] != weight.shape[1]:
+        raise ValueError(
+            f"input has {x.shape[1]} channels, weight expects {weight.shape[1]}"
+        )
+    return np.einsum("nc,bchw->bnhw", weight, x, optimize=True)
+
+
+def pointwise_conv_backward(
+    grad_y: np.ndarray, x: np.ndarray, weight: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Backward of :func:`pointwise_conv_forward` -> (grad_x, grad_w)."""
+    grad_x = np.einsum("nc,bnhw->bchw", weight, grad_y, optimize=True)
+    grad_w = np.einsum("bnhw,bchw->nc", grad_y, x, optimize=True)
+    return grad_x, grad_w
+
+
+def maxpool2d_forward(
+    x: np.ndarray, kernel: int, stride: int, padding: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Max pooling; returns ``(y, argmax)`` with flat per-window indices."""
+    b, c, h, w = x.shape
+    xp = pad_nchw(x, padding)
+    if padding > 0:
+        # Padded cells must never win the max.
+        xp = xp.copy()
+        neg = np.finfo(xp.dtype).min if np.issubdtype(xp.dtype, np.floating) else np.iinfo(xp.dtype).min
+        xp[:, :, :padding, :] = neg
+        xp[:, :, h + padding :, :] = neg
+        xp[:, :, :, :padding] = neg
+        xp[:, :, :, w + padding :] = neg
+    oh = conv_out_size(h, kernel, stride, padding)
+    ow = conv_out_size(w, kernel, stride, padding)
+    windows = sliding_window_view(xp, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride][:, :, :oh, :ow]
+    flat = windows.reshape(b, c, oh, ow, kernel * kernel)
+    arg = np.argmax(flat, axis=-1)
+    y = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    return y, arg
+
+
+def maxpool2d_backward(
+    grad_y: np.ndarray,
+    arg: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int = 0,
+) -> np.ndarray:
+    """Scatter pooled gradients back to the winning input positions."""
+    b, c, h, w = x_shape
+    oh, ow = grad_y.shape[2], grad_y.shape[3]
+    hp, wp = h + 2 * padding, w + 2 * padding
+    grad_xp = np.zeros((b, c, hp, wp), dtype=grad_y.dtype)
+    ki = arg // kernel
+    kj = arg % kernel
+    bi, ci, oi, oj = np.indices((b, c, oh, ow), sparse=False)
+    rows = oi * stride + ki
+    cols = oj * stride + kj
+    np.add.at(grad_xp, (bi, ci, rows, cols), grad_y)
+    if padding == 0:
+        return grad_xp
+    return grad_xp[:, :, padding : padding + h, padding : padding + w]
+
+
+def avgpool2d_forward(
+    x: np.ndarray, kernel: int, stride: int, padding: int = 0
+) -> np.ndarray:
+    """Average pooling (count includes padded cells, like PyTorch's
+    default ``count_include_pad=True``)."""
+    xp = pad_nchw(x, padding)
+    oh = conv_out_size(x.shape[2], kernel, stride, padding)
+    ow = conv_out_size(x.shape[3], kernel, stride, padding)
+    windows = sliding_window_view(xp, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride][:, :, :oh, :ow]
+    return windows.mean(axis=(-2, -1))
+
+
+def avgpool2d_backward(
+    grad_y: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int = 0,
+) -> np.ndarray:
+    """Distribute pooled gradients uniformly over each window."""
+    b, c, h, w = x_shape
+    oh, ow = grad_y.shape[2], grad_y.shape[3]
+    hp, wp = h + 2 * padding, w + 2 * padding
+    grad_xp = np.zeros((b, c, hp, wp), dtype=grad_y.dtype)
+    share = grad_y / float(kernel * kernel)
+    for i in range(kernel):
+        for j in range(kernel):
+            grad_xp[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += share
+    if padding == 0:
+        return grad_xp
+    return grad_xp[:, :, padding : padding + h, padding : padding + w]
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    return np.exp(log_softmax(logits, axis=axis))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise max(x, 0)."""
+    return np.maximum(x, 0.0)

@@ -1,0 +1,108 @@
+"""Finite-difference gradient checking for modules.
+
+Every layer's analytic backward pass is validated against central
+differences in the test suite.  The checker perturbs both the input and
+every parameter, using a scalar "loss" ``sum(forward(x) * probe)`` with
+a fixed random probe so that all output elements contribute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.utils.rng import SeedLike, new_rng
+
+
+def _loss_and_grad(module: Module, x: np.ndarray, probe: np.ndarray):
+    y = module.forward(x)
+    loss = float(np.sum(y * probe))
+    grad_x = module.backward(probe.astype(np.float64))
+    return loss, grad_x
+
+
+def numerical_grad(
+    f, arr: np.ndarray, eps: float = 1e-6, max_entries: Optional[int] = None,
+    seed: SeedLike = 0,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``f()`` w.r.t. ``arr``.
+
+    Perturbs at most ``max_entries`` randomly chosen entries (all when
+    ``None``); untouched entries get NaN so callers can mask them.
+    """
+    flat = arr.reshape(-1)
+    grad = np.full(flat.shape, np.nan)
+    idx = np.arange(flat.size)
+    if max_entries is not None and max_entries < flat.size:
+        idx = new_rng(seed).choice(flat.size, size=max_entries, replace=False)
+    for i in idx:
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = f()
+        flat[i] = orig - eps
+        minus = f()
+        flat[i] = orig
+        grad[i] = (plus - minus) / (2 * eps)
+    return grad.reshape(arr.shape)
+
+
+def check_module_gradients(
+    module: Module,
+    x: np.ndarray,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+    eps: float = 1e-6,
+    max_entries: int = 40,
+    seed: SeedLike = 0,
+) -> Dict[str, float]:
+    """Compare analytic vs numeric grads for input and all parameters.
+
+    Returns max abs errors per checked tensor; raises ``AssertionError``
+    on mismatch.  The module is run in training mode.
+    """
+    module.train()
+    rng = new_rng(seed)
+    x = np.asarray(x, dtype=np.float64)
+    y0 = module.forward(x.copy())
+    probe = rng.standard_normal(y0.shape)
+
+    # Analytic gradients.
+    module.zero_grad()
+    _, grad_x = _loss_and_grad(module, x.copy(), probe)
+    analytic_params = {
+        name: p.grad.copy() for name, p in module.named_parameters()
+    }
+
+    errors: Dict[str, float] = {}
+
+    def loss_only() -> float:
+        y = module.forward(x.copy())
+        return float(np.sum(y * probe))
+
+    # Input gradient.
+    num_gx = numerical_grad(loss_only, x, eps=eps, max_entries=max_entries, seed=seed)
+    mask = ~np.isnan(num_gx)
+    err = float(np.max(np.abs(grad_x[mask] - num_gx[mask]))) if mask.any() else 0.0
+    scale = float(np.max(np.abs(num_gx[mask]))) if mask.any() else 0.0
+    if err > atol + rtol * scale:
+        raise AssertionError(f"input gradient mismatch: max err {err:.3e}")
+    errors["input"] = err
+
+    # Parameter gradients.
+    for name, p in module.named_parameters():
+        num_gp = numerical_grad(
+            loss_only, p.data, eps=eps, max_entries=max_entries, seed=seed
+        )
+        mask = ~np.isnan(num_gp)
+        if not mask.any():
+            continue
+        err = float(np.max(np.abs(analytic_params[name][mask] - num_gp[mask])))
+        scale = float(np.max(np.abs(num_gp[mask])))
+        if err > atol + rtol * scale:
+            raise AssertionError(
+                f"parameter gradient mismatch for {name}: max err {err:.3e}"
+            )
+        errors[name] = err
+    return errors

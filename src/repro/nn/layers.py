@@ -1,0 +1,278 @@
+"""Non-convolution layers: Linear, activations, norm, pooling, dropout."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.init import kaiming_normal, ones, zeros
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import RngMixin, SeedLike
+from repro.utils.validation import check_positive_int
+
+
+class Linear(Module):
+    """Fully connected layer: ``y = x W^T + b`` with ``W (out, in)``."""
+
+    def __init__(
+        self, in_features: int, out_features: int, bias: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = check_positive_int("in_features", in_features)
+        self.out_features = check_positive_int("out_features", out_features)
+        self.weight = Parameter(
+            kaiming_normal((out_features, in_features), seed=seed, gain=1.0)
+        )
+        self.bias: Optional[Parameter] = (
+            Parameter(zeros((out_features,))) if bias else None
+        )
+        self._cache: Optional[np.ndarray] = None
+
+    def flops(self) -> int:
+        return 2 * self.in_features * self.out_features
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Linear expects (B, {self.in_features}), got {x.shape}"
+            )
+        self._cache = x
+        y = x @ self.weight.data.T
+        if self.bias is not None:
+            y = y + self.bias.data[None, :]
+        return y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x = self._cache
+        self.weight.accumulate(grad.T @ x)
+        if self.bias is not None:
+            self.bias.accumulate(grad.sum(axis=0))
+        self._cache = None
+        return grad @ self.weight.data
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        out = np.where(self._mask, grad, 0.0)
+        self._mask = None
+        return out
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalization with running statistics."""
+
+    def __init__(
+        self, num_features: int, eps: float = 1e-5, momentum: float = 0.1
+    ) -> None:
+        super().__init__()
+        self.num_features = check_positive_int("num_features", num_features)
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.gamma = Parameter(ones((num_features,)))
+        self.beta = Parameter(zeros((num_features,)))
+        self._buffers = {
+            "running_mean": np.zeros(num_features),
+            "running_var": np.ones(num_features),
+        }
+        self._cache = None
+
+    @property
+    def running_mean(self) -> np.ndarray:
+        return self._buffers["running_mean"]
+
+    @property
+    def running_var(self) -> np.ndarray:
+        return self._buffers["running_var"]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm2d expects (B, {self.num_features}, H, W), got {x.shape}"
+            )
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            m = x.shape[0] * x.shape[2] * x.shape[3]
+            self._buffers["running_mean"] *= 1.0 - self.momentum
+            self._buffers["running_mean"] += self.momentum * mean
+            # Unbiased variance for the running estimate (PyTorch semantics).
+            unbiased = var * m / max(m - 1, 1)
+            self._buffers["running_var"] *= 1.0 - self.momentum
+            self._buffers["running_var"] += self.momentum * unbiased
+        else:
+            mean = self._buffers["running_mean"]
+            var = self._buffers["running_var"]
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        if self.training:
+            self._cache = (x_hat, inv_std)
+        else:
+            self._cache = None
+        return (
+            self.gamma.data[None, :, None, None] * x_hat
+            + self.beta.data[None, :, None, None]
+        )
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(
+                "BatchNorm2d backward requires a training-mode forward"
+            )
+        x_hat, inv_std = self._cache
+        m = grad.shape[0] * grad.shape[2] * grad.shape[3]
+        self.gamma.accumulate((grad * x_hat).sum(axis=(0, 2, 3)))
+        self.beta.accumulate(grad.sum(axis=(0, 2, 3)))
+        g = grad * self.gamma.data[None, :, None, None]
+        sum_g = g.sum(axis=(0, 2, 3), keepdims=True)
+        sum_gx = (g * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        grad_x = (
+            inv_std[None, :, None, None]
+            * (g - sum_g / m - x_hat * sum_gx / m)
+        )
+        self._cache = None
+        return grad_x
+
+
+class MaxPool2d(Module):
+    """Max pooling layer."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None,
+                 padding: int = 0) -> None:
+        super().__init__()
+        self.kernel_size = check_positive_int("kernel_size", kernel_size)
+        self.stride = check_positive_int(
+            "stride", stride if stride is not None else kernel_size
+        )
+        if padding < 0:
+            raise ValueError(f"padding must be >= 0, got {padding}")
+        self.padding = int(padding)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y, arg = F.maxpool2d_forward(
+            x, self.kernel_size, self.stride, self.padding
+        )
+        self._cache = (arg, x.shape)
+        return y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        arg, x_shape = self._cache
+        self._cache = None
+        return F.maxpool2d_backward(
+            grad, arg, x_shape, self.kernel_size, self.stride, self.padding
+        )
+
+
+class AvgPool2d(Module):
+    """Average pooling layer."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None,
+                 padding: int = 0) -> None:
+        super().__init__()
+        self.kernel_size = check_positive_int("kernel_size", kernel_size)
+        self.stride = check_positive_int(
+            "stride", stride if stride is not None else kernel_size
+        )
+        if padding < 0:
+            raise ValueError(f"padding must be >= 0, got {padding}")
+        self.padding = int(padding)
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return F.avgpool2d_forward(x, self.kernel_size, self.stride, self.padding)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        x_shape = self._x_shape
+        self._x_shape = None
+        return F.avgpool2d_backward(
+            grad, x_shape, self.kernel_size, self.stride, self.padding
+        )
+
+
+class GlobalAvgPool2d(Module):
+    """Pool each channel to a single value and flatten to (B, C)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        b, c, h, w = self._x_shape
+        self._x_shape = None
+        return np.broadcast_to(
+            grad[:, :, None, None] / (h * w), (b, c, h, w)
+        ).copy()
+
+
+class Flatten(Module):
+    """Flatten all non-batch dims."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        shape = self._x_shape
+        self._x_shape = None
+        return grad.reshape(shape)
+
+
+class Dropout(RngMixin, Module):
+    """Inverted dropout (identity in eval mode)."""
+
+    def __init__(self, p: float = 0.5, seed: SeedLike = 0) -> None:
+        Module.__init__(self)
+        RngMixin.__init__(self, seed)
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout p must be in [0, 1), got {p}")
+        self.p = float(p)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        out = grad * self._mask
+        self._mask = None
+        return out

@@ -1,0 +1,100 @@
+"""Loss functions and classification metrics."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, softmax
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels.
+
+    ``forward`` returns the mean loss; ``backward`` returns the gradient
+    with respect to the logits (already divided by the batch size).
+    Supports optional label smoothing.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError(
+                f"label_smoothing must be in [0, 1), got {label_smoothing}"
+            )
+        self.label_smoothing = float(label_smoothing)
+        self._cache = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        logits = np.asarray(logits)
+        labels = np.asarray(labels)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (B, K), got {logits.shape}")
+        if labels.shape != (logits.shape[0],):
+            raise ValueError(
+                f"labels must be ({logits.shape[0]},), got {labels.shape}"
+            )
+        b, k = logits.shape
+        if labels.min() < 0 or labels.max() >= k:
+            raise ValueError("labels out of range for logits")
+        log_p = log_softmax(logits, axis=1)
+        eps = self.label_smoothing
+        target = np.full((b, k), eps / k)
+        target[np.arange(b), labels] += 1.0 - eps
+        self._cache = (logits, target)
+        return float(-(target * log_p).sum() / b)
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        logits, target = self._cache
+        self._cache = None
+        b = logits.shape[0]
+        return (softmax(logits, axis=1) - target) / b
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+
+class MSELoss:
+    """Mean squared error (used by distillation-style finetuning tests)."""
+
+    def __init__(self) -> None:
+        self._cache = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        pred = np.asarray(pred)
+        target = np.asarray(target)
+        if pred.shape != target.shape:
+            raise ValueError(
+                f"pred/target shape mismatch: {pred.shape} vs {target.shape}"
+            )
+        self._cache = (pred, target)
+        return float(np.mean((pred - target) ** 2))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        pred, target = self._cache
+        self._cache = None
+        return 2.0 * (pred - target) / pred.size
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(pred, target)
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1]."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    preds = np.argmax(logits, axis=1)
+    return float(np.mean(preds == labels))
+
+
+def topk_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy in [0, 1]."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    k = min(k, logits.shape[1])
+    topk = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    return float(np.mean(np.any(topk == labels[:, None], axis=1)))

@@ -1,0 +1,180 @@
+"""Optimizers (SGD, Adam) and learning-rate schedulers.
+
+The ADMM trainer (Sec. 4.1) uses plain mini-batch SGD for the K-update;
+fine-tuning uses SGD with momentum.  Adam is provided for the synthetic
+comparator experiments where fast convergence matters more than
+matching the paper's recipe.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.utils.validation import check_positive
+
+
+class Optimizer:
+    """Base optimizer over a list of :class:`Parameter`."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float) -> None:
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        self.lr = check_positive("lr", float(lr))
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with momentum, Nesterov option, and decoupled weight decay."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov requires momentum > 0")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = bool(nesterov)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for p in self.params:
+            if not p.requires_grad:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v = self._velocity.get(id(p))
+                if v is None:
+                    v = np.zeros_like(p.data)
+                v = self.momentum * v + g
+                self._velocity[id(p)] = v
+                g = g + self.momentum * v if self.nesterov else v
+            p.data -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: Sequence[float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.betas = (float(b1), float(b2))
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.betas
+        for p in self.params:
+            if not p.requires_grad:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m = self._m.get(id(p))
+            v = self._v.get(id(p))
+            if m is None:
+                m = np.zeros_like(p.data)
+                v = np.zeros_like(p.data)
+            m = b1 * m + (1 - b1) * g
+            v = b2 * v + (1 - b2) * g * g
+            self._m[id(p)], self._v[id(p)] = m, v
+            m_hat = m / (1 - b1**self._t)
+            v_hat = v / (1 - b2**self._t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class LRScheduler:
+    """Base scheduler mutating ``optimizer.lr`` on :meth:`step`."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+
+class StepLR(LRScheduler):
+    """Decay the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        self.step_size = int(step_size)
+        self.gamma = check_positive("gamma", float(gamma))
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class MultiStepLR(LRScheduler):
+    """Decay by ``gamma`` at each milestone epoch."""
+
+    def __init__(
+        self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.1
+    ):
+        super().__init__(optimizer)
+        self.milestones = sorted(int(m) for m in milestones)
+        self.gamma = check_positive("gamma", float(gamma))
+
+    def get_lr(self) -> float:
+        n_passed = sum(1 for m in self.milestones if self.epoch >= m)
+        return self.base_lr * self.gamma**n_passed
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max < 1:
+            raise ValueError(f"t_max must be >= 1, got {t_max}")
+        self.t_max = int(t_max)
+        self.eta_min = float(eta_min)
+
+    def get_lr(self) -> float:
+        t = min(self.epoch, self.t_max)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1 + math.cos(math.pi * t / self.t_max)
+        )

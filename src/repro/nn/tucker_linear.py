@@ -1,0 +1,204 @@
+"""Tucker-compressed fully connected layer (the paper's Sec. 2.2 note).
+
+The paper observes that Tucker decomposition also applies to
+matrix-vector-multiplication-centered models (RNNs, classifier heads):
+reshape the weight matrix into a higher-order tensor, decompose it
+into Tucker format, and execute the original matvec as a chain of
+small matrix multiplications.  The paper leaves this path to existing
+GEMM libraries; we implement it as a trainable layer so the library
+covers that use case end to end.
+
+``TuckerLinear`` factorizes ``W (out, in)`` reshaped to
+``(o1, o2, i1, i2)`` with full Tucker ranks ``(r_o1, r_o2, r_i1,
+r_i2)``; the forward pass contracts the input through the factor
+matrices and the core without ever materializing ``W``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.init import kaiming_normal, zeros
+from repro.nn.layers import Linear
+from repro.nn.module import Module, Parameter
+from repro.tensor.tucker import partial_tucker
+from repro.utils.rng import SeedLike, spawn_rngs
+from repro.utils.validation import check_positive_int
+
+
+def _factor_pair(n: int) -> Tuple[int, int]:
+    """Most balanced factor pair (a, b) with a*b == n."""
+    best = (1, n)
+    for a in range(1, int(np.sqrt(n)) + 1):
+        if n % a == 0:
+            best = (a, n // a)
+    return best
+
+
+class TuckerLinear(Module):
+    """Fully connected layer in Tucker format.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Logical matvec dimensions.
+    ranks:
+        Tucker ranks ``(r_o1, r_o2, r_i1, r_i2)`` for the reshaped
+        4-D weight tensor.
+    out_shape, in_shape:
+        Optional explicit reshapes (default: most balanced factor
+        pairs of each dimension).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        ranks: Sequence[int],
+        out_shape: Optional[Tuple[int, int]] = None,
+        in_shape: Optional[Tuple[int, int]] = None,
+        bias: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = check_positive_int("in_features", in_features)
+        self.out_features = check_positive_int("out_features", out_features)
+        self.out_shape = out_shape or _factor_pair(out_features)
+        self.in_shape = in_shape or _factor_pair(in_features)
+        if int(np.prod(self.out_shape)) != out_features:
+            raise ValueError(
+                f"out_shape {self.out_shape} does not factor {out_features}"
+            )
+        if int(np.prod(self.in_shape)) != in_features:
+            raise ValueError(
+                f"in_shape {self.in_shape} does not factor {in_features}"
+            )
+        ranks = tuple(int(r) for r in ranks)
+        if len(ranks) != 4:
+            raise ValueError(f"need 4 Tucker ranks, got {ranks}")
+        dims = (*self.out_shape, *self.in_shape)
+        self.ranks = tuple(min(r, d) for r, d in zip(ranks, dims))
+
+        seeds = spawn_rngs(seed, 5)
+        self.core = Parameter(
+            kaiming_normal(self.ranks, seed=seeds[0], gain=1.0)
+        )
+        self.factors = []
+        for i, (dim, rank) in enumerate(zip(dims, self.ranks)):
+            p = Parameter(kaiming_normal((dim, rank), seed=seeds[i + 1], gain=1.0))
+            setattr(self, f"factor{i}", p)
+            self.factors.append(p)
+        self.bias: Optional[Parameter] = (
+            Parameter(zeros((out_features,))) if bias else None
+        )
+        self._cache = None
+
+    # -- construction -------------------------------------------------
+    @classmethod
+    def from_linear(
+        cls, linear: Linear, ranks: Sequence[int], n_iter: int = 10,
+        out_shape: Optional[Tuple[int, int]] = None,
+        in_shape: Optional[Tuple[int, int]] = None,
+    ) -> "TuckerLinear":
+        """Decompose an existing dense :class:`Linear` layer."""
+        layer = cls(
+            in_features=linear.in_features,
+            out_features=linear.out_features,
+            ranks=ranks,
+            out_shape=out_shape,
+            in_shape=in_shape,
+            bias=linear.bias is not None,
+            seed=0,
+        )
+        w4 = linear.weight.data.reshape(*layer.out_shape, *layer.in_shape)
+        dec = partial_tucker(w4, modes=(0, 1, 2, 3), ranks=layer.ranks,
+                             n_iter=n_iter)
+        layer.core.data[...] = dec.core
+        for p, f in zip(layer.factors, dec.factors):
+            p.data[...] = f
+        if linear.bias is not None and layer.bias is not None:
+            layer.bias.data[...] = linear.bias.data
+        return layer
+
+    # -- accounting ----------------------------------------------------
+    def n_weight_params(self) -> int:
+        return int(self.core.size + sum(p.size for p in self.factors))
+
+    def dense_params(self) -> int:
+        return self.in_features * self.out_features
+
+    def compression_ratio(self) -> float:
+        return self.dense_params() / self.n_weight_params()
+
+    def to_dense_weight(self) -> np.ndarray:
+        """Reconstruct the dense ``(out, in)`` matrix (tests)."""
+        t = self.core.data
+        for mode, p in enumerate(self.factors):
+            t = np.tensordot(p.data, t, axes=(1, mode))
+            t = np.moveaxis(t, 0, mode)
+        return t.reshape(self.out_features, self.in_features)
+
+    # -- compute ---------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"TuckerLinear expects (B, {self.in_features}), got {x.shape}"
+            )
+        b = x.shape[0]
+        i1, i2 = self.in_shape
+        u_o1, u_o2, u_i1, u_i2 = (p.data for p in self.factors)
+        # Contract the input through the input-side factors, the core,
+        # then the output-side factors — a chain of small matmuls, the
+        # execution scheme Sec. 2.2 describes.
+        x4 = x.reshape(b, i1, i2)
+        t1 = np.einsum("bij,ir->brj", x4, u_i1, optimize=True)
+        t2 = np.einsum("brj,js->brs", t1, u_i2, optimize=True)
+        t3 = np.einsum("brs,pqrs->bpq", t2, self.core.data, optimize=True)
+        t4 = np.einsum("bpq,op->boq", t3, u_o1, optimize=True)
+        y4 = np.einsum("boq,mq->bom", t4, u_o2, optimize=True)
+        y = y4.reshape(b, self.out_features)
+        self._cache = (x4, t1, t2, t3, t4)
+        if self.bias is not None:
+            y = y + self.bias.data[None, :]
+        return y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x4, t1, t2, t3, t4 = self._cache
+        self._cache = None
+        b = grad.shape[0]
+        o1, o2 = self.out_shape
+        u_o1, u_o2, u_i1, u_i2 = (p.data for p in self.factors)
+        g4 = grad.reshape(b, o1, o2)
+        if self.bias is not None:
+            self.bias.accumulate(grad.sum(axis=0))
+
+        # y4 = t4 x_m u_o2 ; t4 (b, o1, r_o2)
+        self.factors[1].accumulate(
+            np.einsum("bom,boq->mq", g4, t4, optimize=True)
+        )
+        g_t4 = np.einsum("bom,mq->boq", g4, u_o2, optimize=True)
+        # t4 = t3 x_p u_o1 ; t3 (b, r_o1, r_o2)
+        self.factors[0].accumulate(
+            np.einsum("boq,bpq->op", g_t4, t3, optimize=True)
+        )
+        g_t3 = np.einsum("boq,op->bpq", g_t4, u_o1, optimize=True)
+        # t3 = t2 . core ; t2 (b, r_i1, r_i2)
+        self.core.accumulate(
+            np.einsum("bpq,brs->pqrs", g_t3, t2, optimize=True)
+        )
+        g_t2 = np.einsum("bpq,pqrs->brs", g_t3, self.core.data, optimize=True)
+        # t2 = t1 x u_i2 ; t1 (b, r_i1, i2)
+        self.factors[3].accumulate(
+            np.einsum("brs,brj->js", g_t2, t1, optimize=True)
+        )
+        g_t1 = np.einsum("brs,js->brj", g_t2, u_i2, optimize=True)
+        # t1 = x4 x u_i1 ; x4 (b, i1, i2)
+        self.factors[2].accumulate(
+            np.einsum("brj,bij->ir", g_t1, x4, optimize=True)
+        )
+        g_x4 = np.einsum("brj,ir->bij", g_t1, u_i1, optimize=True)
+        return g_x4.reshape(b, self.in_features)

@@ -1,0 +1,45 @@
+"""Analytical performance model and tiling selection (Secs. 5.3-5.5)."""
+
+from repro.perfmodel.analytical import (
+    AnalyticalEstimate,
+    comp_latency,
+    comp_latency_blk,
+    comp_waves,
+    estimate,
+    memory_latency,
+    volume_input,
+    volume_kernel,
+    volume_output,
+    volume_total,
+)
+from repro.perfmodel.tiling import (
+    CHANNEL_TILES,
+    SPATIAL_TILES,
+    TilingChoice,
+    enumerate_tilings,
+    select_tiling,
+    select_tiling_model,
+    select_tiling_oracle,
+    tdc_kernel_for,
+)
+
+__all__ = [
+    "AnalyticalEstimate",
+    "comp_latency",
+    "comp_latency_blk",
+    "comp_waves",
+    "estimate",
+    "memory_latency",
+    "volume_input",
+    "volume_kernel",
+    "volume_output",
+    "volume_total",
+    "CHANNEL_TILES",
+    "SPATIAL_TILES",
+    "TilingChoice",
+    "enumerate_tilings",
+    "select_tiling",
+    "select_tiling_model",
+    "select_tiling_oracle",
+    "tdc_kernel_for",
+]

@@ -1,0 +1,140 @@
+"""CP (CANDECOMP/PARAFAC) decomposition via alternating least squares.
+
+Used to implement the "Stable"/CP-based comparator from the paper's
+Table 3 (Lebedev et al. / Phan et al. style conv compression).  The
+paper notes two CP limitations we reproduce in experiments: a single
+shared rank across all modes, and inferior stability/accuracy relative
+to Tucker at matched budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.unfold import khatri_rao, relative_error, unfold
+from repro.utils.rng import new_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class CPTensor:
+    """A tensor in CP format: sum of ``rank`` outer products.
+
+    ``weights`` holds the per-component scale; ``factors[k]`` has shape
+    ``(tensor.shape[k], rank)``.
+    """
+
+    weights: np.ndarray
+    factors: List[np.ndarray]
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        self.factors = [np.asarray(f, dtype=np.float64) for f in self.factors]
+        if self.weights.ndim != 1:
+            raise ValueError("weights must be 1-D")
+        rank = self.weights.shape[0]
+        for i, f in enumerate(self.factors):
+            if f.ndim != 2 or f.shape[1] != rank:
+                raise ValueError(
+                    f"factor {i} must have shape (dim, {rank}), got {f.shape}"
+                )
+
+    @property
+    def rank(self) -> int:
+        return int(self.weights.shape[0])
+
+    @property
+    def full_shape(self) -> Tuple[int, ...]:
+        return tuple(f.shape[0] for f in self.factors)
+
+    def n_params(self) -> int:
+        return int(sum(f.size for f in self.factors) + self.weights.size)
+
+    def to_full(self) -> np.ndarray:
+        """Reconstruct the dense tensor from the CP factors."""
+        # Mode-0 unfolding of a CP tensor: A0 diag(w) (A_{d-1} ⊙ ... ⊙ A_1)^T
+        kr = khatri_rao(self.factors[1:]) if len(self.factors) > 1 else np.ones((1, self.rank))
+        mat = (self.factors[0] * self.weights[None, :]) @ kr.T
+        return mat.reshape(self.full_shape)
+
+
+def cp_als(
+    tensor: np.ndarray,
+    rank: int,
+    n_iter: int = 100,
+    tol: float = 1e-7,
+    seed: Optional[int] = 0,
+    l2_reg: float = 1e-10,
+) -> CPTensor:
+    """CP decomposition by ALS with random init and column normalization.
+
+    ``l2_reg`` is a small Tikhonov term on the normal equations — the
+    classic mitigation for CP's "degenerate/swamp" instability (which is
+    one of the limitations the paper cites for CP-based compression).
+    """
+    tensor = np.asarray(tensor, dtype=np.float64)
+    rank = check_positive_int("rank", rank)
+    if tensor.ndim < 2:
+        raise ValueError("cp_als needs a tensor of order >= 2")
+    n_iter = check_positive_int("n_iter", n_iter)
+    rng = new_rng(seed)
+
+    factors = [
+        rng.standard_normal((dim, rank)) / np.sqrt(max(dim, 1))
+        for dim in tensor.shape
+    ]
+    unfoldings = [unfold(tensor, m) for m in range(tensor.ndim)]
+    norm_t = np.linalg.norm(tensor.ravel())
+    weights = np.ones(rank)
+    prev_err = np.inf
+    eye = np.eye(rank)
+
+    for _ in range(n_iter):
+        for mode in range(tensor.ndim):
+            others = [factors[m] for m in range(tensor.ndim) if m != mode]
+            # Gram of the Khatri-Rao product = Hadamard of the Grams.
+            gram = np.ones((rank, rank))
+            for f in others:
+                gram *= f.T @ f
+            kr = khatri_rao(others)
+            rhs = unfoldings[mode] @ kr
+            sol = np.linalg.solve(gram + l2_reg * eye, rhs.T).T
+            # Normalize columns into weights for numerical stability.
+            norms = np.linalg.norm(sol, axis=0)
+            norms = np.where(norms > 0, norms, 1.0)
+            factors[mode] = sol / norms[None, :]
+            weights = norms
+        approx = CPTensor(weights=weights, factors=factors).to_full()
+        err = (
+            np.linalg.norm((approx - tensor).ravel()) / norm_t
+            if norm_t > 0
+            else 0.0
+        )
+        if abs(prev_err - err) < tol:
+            break
+        prev_err = err
+
+    return CPTensor(weights=weights, factors=factors)
+
+
+def cp_conv_kernel(
+    kernel: np.ndarray, rank: int, n_iter: int = 60, seed: Optional[int] = 0
+) -> CPTensor:
+    """CP-decompose a 4-D conv kernel ``(N, C, R, S)`` with shared rank.
+
+    Note the CP constraint the paper highlights: *one* rank shared by
+    all four modes, so the read/write load ratio cannot be tuned the
+    way Tucker's (D1, D2) can.
+    """
+    kernel = np.asarray(kernel)
+    if kernel.ndim != 4:
+        raise ValueError(f"conv kernel must be 4-D, got {kernel.shape}")
+    return cp_als(kernel, rank=rank, n_iter=n_iter, seed=seed)
+
+
+def cp_relative_error(tensor: np.ndarray, cp: CPTensor) -> float:
+    """Relative reconstruction error of a CP approximation."""
+    return relative_error(cp.to_full(), tensor)

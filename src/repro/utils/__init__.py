@@ -1,0 +1,29 @@
+"""Shared utilities: seeded RNG management, table formatting, validation.
+
+These helpers keep the rest of the library deterministic and keep
+experiment output in a uniform, paper-style tabular form.
+"""
+
+from repro.utils.rng import RngMixin, new_rng, spawn_rngs
+from repro.utils.tables import Table, format_float, format_speedup
+from repro.utils.validation import (
+    check_dim,
+    check_in,
+    check_positive,
+    check_positive_int,
+    check_shape,
+)
+
+__all__ = [
+    "RngMixin",
+    "new_rng",
+    "spawn_rngs",
+    "Table",
+    "format_float",
+    "format_speedup",
+    "check_dim",
+    "check_in",
+    "check_positive",
+    "check_positive_int",
+    "check_shape",
+]

@@ -1,0 +1,56 @@
+"""Lightweight argument validation helpers.
+
+All public entry points in the library validate their inputs eagerly and
+raise ``ValueError``/``TypeError`` with actionable messages.  These
+helpers keep that uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_positive_int(name: str, value: Any) -> int:
+    """Raise unless ``value`` is a positive integer (bools rejected)."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_in(name: str, value: Any, allowed: Iterable[Any]) -> Any:
+    """Raise ``ValueError`` unless ``value`` is one of ``allowed``."""
+    allowed = list(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed}, got {value!r}")
+    return value
+
+
+def check_dim(name: str, arr: np.ndarray, ndim: int) -> np.ndarray:
+    """Raise ``ValueError`` unless ``arr.ndim == ndim``."""
+    arr = np.asarray(arr)
+    if arr.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-D, got {arr.ndim}-D shape {arr.shape}")
+    return arr
+
+
+def check_shape(name: str, arr: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Raise unless ``arr.shape`` matches ``shape`` (-1 is a wildcard)."""
+    arr = np.asarray(arr)
+    expected: Tuple[int, ...] = tuple(shape)
+    if len(arr.shape) != len(expected):
+        raise ValueError(f"{name} must have shape {expected}, got {arr.shape}")
+    for got, want in zip(arr.shape, expected):
+        if want != -1 and got != want:
+            raise ValueError(f"{name} must have shape {expected}, got {arr.shape}")
+    return arr

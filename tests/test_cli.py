@@ -1,0 +1,58 @@
+"""Tests for the command-line interface (fast commands only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_device_default(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.device == "2080Ti"
+
+    def test_codegen_shape(self):
+        args = build_parser().parse_args(
+            ["codegen", "--shape", "32", "32", "14", "14"]
+        )
+        assert args.shape == [32, 32, 14, 14]
+
+
+class TestCommands:
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+
+    def test_codegen(self, capsys):
+        assert main(["codegen", "--shape", "32", "32", "14", "14"]) == 0
+        out = capsys.readouterr().out
+        assert "__global__ void tdc_core_conv" in out
+        assert "#define C 32" in out
+
+    def test_oracle_gap(self, capsys):
+        assert main(["oracle-gap", "--device", "2080Ti"]) == 0
+        assert "MEAN" in capsys.readouterr().out
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            main(["fig4", "--device", "h100"])
+
+
+class TestReport:
+    def test_report_command(self, capsys):
+        assert main(["report", "--no-e2e"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "Figure 6" in out and "Figure 7" in out
+        assert "tiling-selection quality" in out
+        assert "kernel-tensor layout" in out
+
+    def test_generate_report_function(self):
+        from repro.experiments.report import generate_report
+
+        text = generate_report(include_e2e=False)
+        assert "Average TDC speedups" in text

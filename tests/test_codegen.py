@@ -1,0 +1,82 @@
+"""Tests for the CUDA source generator and layout conversions."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.base import ConvShape
+from repro.kernels.codegen import (
+    convert_kernel_from_crsn,
+    convert_kernel_to_crsn,
+    generate_tdc_kernel_source,
+    kernel_constants,
+)
+from repro.kernels.tdc_direct import Tiling, smem_bytes
+
+SHAPE = ConvShape(64, 32, 56, 56)
+TILING = Tiling(8, 8, 16)
+
+
+class TestSourceGeneration:
+    def test_contains_all_constants(self):
+        src = generate_tdc_kernel_source(SHAPE, TILING)
+        for define, value in kernel_constants(SHAPE, TILING).items():
+            assert f"#define {define} {value}" in src
+
+    def test_structure_markers(self):
+        src = generate_tdc_kernel_source(SHAPE, TILING)
+        assert "__global__ void tdc_core_conv" in src
+        assert "__shared__ float input_tile" in src
+        assert src.count("__syncthreads()") == 1  # the scheme's single sync
+        assert "atomicAdd" in src
+
+    def test_crsn_indexing_emitted(self):
+        src = generate_tdc_kernel_source(SHAPE, TILING)
+        # CRSN layout: kernel[(gc * R * S + rs) * N + n]
+        assert "kernel[(gc * R * S + rs) * N + n]" in src
+
+    def test_launch_config_comment(self):
+        src = generate_tdc_kernel_source(SHAPE, TILING)
+        assert f"dim3({7 * 7 * 4})" in src      # blocks
+        assert f"dim3({SHAPE.n})" in src        # threads = N
+
+    def test_smem_matches_simulator_accounting(self):
+        src = generate_tdc_kernel_source(SHAPE, TILING)
+        assert f"{smem_bytes(TILING, SHAPE)} bytes" in src
+
+    def test_tiling_clipped_to_shape(self):
+        small = ConvShape(4, 8, 5, 5)
+        consts = kernel_constants(small, Tiling(64, 64, 64))
+        assert consts["TH"] == 5 and consts["TC"] == 4
+
+    def test_balanced_braces(self):
+        src = generate_tdc_kernel_source(SHAPE, TILING)
+        assert src.count("{") == src.count("}")
+
+    def test_distinct_shapes_distinct_sources(self):
+        s1 = generate_tdc_kernel_source(SHAPE, TILING)
+        s2 = generate_tdc_kernel_source(ConvShape(32, 32, 14, 14), TILING)
+        assert s1 != s2
+
+
+class TestLayoutConversion:
+    def test_roundtrip(self, rng):
+        w = rng.standard_normal((6, 5, 3, 3))
+        np.testing.assert_array_equal(
+            convert_kernel_from_crsn(convert_kernel_to_crsn(w)), w
+        )
+
+    def test_crsn_axis_order(self, rng):
+        w = rng.standard_normal((6, 5, 3, 3))
+        crsn = convert_kernel_to_crsn(w)
+        assert crsn.shape == (5, 3, 3, 6)
+        assert crsn[2, 1, 0, 4] == w[4, 2, 1, 0]
+
+    def test_contiguous_output(self, rng):
+        crsn = convert_kernel_to_crsn(rng.standard_normal((4, 3, 3, 3)))
+        assert crsn.flags["C_CONTIGUOUS"]
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            convert_kernel_to_crsn(rng.standard_normal((4, 3, 3)))
+        with pytest.raises(ValueError):
+            convert_kernel_from_crsn(rng.standard_normal((4, 3)))

@@ -1,0 +1,313 @@
+"""Tests for projections, ADMM training, baselines, and comparators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.admm import ADMMTrainer
+from repro.compression.baselines import (
+    decompose_and_finetune,
+    decompose_model,
+    direct_train_tucker,
+    randomize_tucker_model,
+)
+from repro.compression.comparators import (
+    FPGMComparator,
+    StdTKDComparator,
+    TDCComparator,
+    achieved_tucker_reduction,
+    uniform_tucker_ranks_for_budget,
+)
+from repro.compression.projections import (
+    cp_projection,
+    projection_error,
+    svd_projection,
+    tt_projection,
+    tucker2_projection,
+)
+from repro.compression.training import evaluate, train_model
+from repro.models.introspection import find_module, trace_conv_sites
+from repro.models.registry import build_model
+from repro.nn import Conv2d, TuckerConv2d
+from repro.nn.module import Sequential
+from repro.nn.layers import GlobalAvgPool2d, Linear, ReLU
+
+
+class TestProjections:
+    @pytest.mark.parametrize(
+        "proj,ranks",
+        [
+            (tucker2_projection, (3, 2)),
+            (tt_projection, (3, 4)),
+            (svd_projection, (3,)),
+        ],
+    )
+    def test_idempotent(self, proj, ranks, rng):
+        k = rng.standard_normal((6, 5, 3, 3))
+        p1 = proj(k, ranks)
+        p2 = proj(p1, ranks)
+        np.testing.assert_allclose(p1, p2, atol=1e-7)
+
+    def test_cp_projection_reduces_error_with_rank(self, rng):
+        k = rng.standard_normal((5, 4, 3, 3))
+        e_small = projection_error(k, cp_projection, (1,))
+        e_big = projection_error(k, cp_projection, (20,))
+        assert e_big <= e_small + 0.05
+
+    def test_svd_projection_matches_truncated_svd_error(self, rng):
+        k = rng.standard_normal((6, 4, 3, 3))
+        mat = k.reshape(6, -1)
+        _, s, _ = np.linalg.svd(mat, full_matrices=False)
+        expected = np.sqrt(np.sum(s[2:] ** 2)) / np.linalg.norm(mat)
+        assert projection_error(k, svd_projection, (2,)) == pytest.approx(
+            expected, abs=1e-10
+        )
+
+    def test_tt_projection_shape_preserved(self, rng):
+        k = rng.standard_normal((6, 5, 3, 3))
+        assert tt_projection(k, (2, 3)).shape == k.shape
+
+    def test_projection_error_zero_for_in_set(self, rng):
+        k = rng.standard_normal((6, 5, 3, 3))
+        p = tucker2_projection(k, (3, 2))
+        assert projection_error(p, tucker2_projection, (3, 2)) < 1e-9
+
+
+def small_conv_model(seed=0):
+    """Two-conv toy classifier used by the compression tests."""
+    return Sequential(
+        Conv2d(3, 8, 3, padding=1, seed=seed),
+        ReLU(),
+        Conv2d(8, 8, 3, padding=1, seed=seed + 1),
+        ReLU(),
+        GlobalAvgPool2d(),
+        Linear(8, 4, seed=seed + 2),
+    )
+
+
+class TestTraining:
+    def test_loss_decreases(self, tiny_dataset):
+        train_data, test_data = tiny_dataset
+        model = small_conv_model()
+        hist = train_model(model, train_data, epochs=3, batch_size=16,
+                           lr=0.05, seed=0)
+        assert hist.losses[-1] < hist.losses[0]
+
+    def test_beats_chance(self, tiny_dataset):
+        train_data, test_data = tiny_dataset
+        model = small_conv_model()
+        train_model(model, train_data, epochs=6, batch_size=16, lr=0.05, seed=0)
+        acc = evaluate(model, test_data)
+        assert acc > 1.5 / 4  # clearly above the 25% chance level
+
+    def test_deterministic(self, tiny_dataset):
+        train_data, _ = tiny_dataset
+        h1 = train_model(small_conv_model(), train_data, epochs=2,
+                         batch_size=16, seed=3)
+        h2 = train_model(small_conv_model(), train_data, epochs=2,
+                         batch_size=16, seed=3)
+        assert h1.losses == h2.losses
+
+    def test_evaluate_eval_mode_restored(self, tiny_dataset):
+        train_data, test_data = tiny_dataset
+        model = small_conv_model()
+        model.train()
+        evaluate(model, test_data)
+        assert model.training
+
+
+class TestADMM:
+    def _setup(self, tiny_dataset):
+        train_data, test_data = tiny_dataset
+        model = small_conv_model()
+        train_model(model, train_data, epochs=3, batch_size=16, seed=0)
+        rank_map = {"layer2": (4, 4)}  # second conv
+        return model, rank_map, train_data, test_data
+
+    def test_projection_error_decreases(self, tiny_dataset):
+        """ADMM's purpose: the kernel drifts toward the rank set Q, so
+        the hard-projection error falls versus the pretrained model.
+        (The raw primal residual ||K - K̂|| may transiently rise while
+        the dual variable grows, so it is not asserted here.)"""
+        from repro.compression.projections import (
+            projection_error,
+            tucker2_projection,
+        )
+
+        model, rank_map, train_data, _ = self._setup(tiny_dataset)
+        conv = find_module(model, "layer2")
+        before = projection_error(conv.weight.data, tucker2_projection, (4, 4))
+        trainer = ADMMTrainer(model, rank_map, rho=0.2)
+        trainer.train(train_data, epochs=4, batch_size=16, lr=0.02, seed=0)
+        after = projection_error(conv.weight.data, tucker2_projection, (4, 4))
+        assert after < before
+
+    def test_residuals_reported_per_layer(self, tiny_dataset):
+        model, rank_map, train_data, _ = self._setup(tiny_dataset)
+        trainer = ADMMTrainer(model, rank_map, rho=0.2)
+        res = trainer.residuals()
+        assert set(res) == set(rank_map)
+        assert all(v >= 0 for v in res.values())
+
+    def test_projected_weights_decompose_exactly(self, tiny_dataset):
+        model, rank_map, train_data, _ = self._setup(tiny_dataset)
+        trainer = ADMMTrainer(model, rank_map, rho=0.05)
+        trainer.train(train_data, epochs=2, batch_size=16, lr=0.02, seed=0)
+        trainer.project_weights()
+        conv = find_module(model, "layer2")
+        from repro.tensor.tucker import tucker2_relative_error
+
+        assert tucker2_relative_error(conv.weight.data, 4, 4) < 1e-6
+
+    def test_penalty_gradient_term(self, tiny_dataset):
+        model, rank_map, *_ = self._setup(tiny_dataset)
+        trainer = ADMMTrainer(model, rank_map, rho=1.0)
+        conv = find_module(model, "layer2")
+        model.zero_grad()
+        trainer.add_penalty_gradients()
+        expected = conv.weight.data - trainer.states["layer2"].k_hat
+        np.testing.assert_allclose(conv.weight.grad, expected, atol=1e-12)
+
+    def test_rejects_non_conv_target(self, tiny_dataset):
+        model, *_ = self._setup(tiny_dataset)
+        with pytest.raises(TypeError):
+            ADMMTrainer(model, {"layer1": (2, 2)})  # ReLU
+
+    def test_rejects_empty_rank_map(self, tiny_dataset):
+        model, *_ = self._setup(tiny_dataset)
+        with pytest.raises(ValueError):
+            ADMMTrainer(model, {})
+
+    def test_tt_projection_variant(self, tiny_dataset):
+        from repro.compression.projections import tt_projection
+
+        model, rank_map, train_data, _ = self._setup(tiny_dataset)
+        trainer = ADMMTrainer(model, rank_map, projection=tt_projection)
+        trainer.train(train_data, epochs=1, batch_size=16, seed=0)
+        assert trainer.max_residual() >= 0
+
+
+class TestBaselines:
+    def test_decompose_model_replaces_layers(self, tiny_dataset):
+        model = small_conv_model()
+        decompose_model(model, {"layer2": (4, 4)})
+        assert isinstance(find_module(model, "layer2"), TuckerConv2d)
+
+    def test_decompose_preserves_function_at_full_rank(self, tiny_dataset, rng):
+        model = small_conv_model()
+        x = rng.standard_normal((2, 3, 8, 8))
+        model.eval()
+        before = model.forward(x)
+        decompose_model(model, {"layer2": (8, 8)})
+        model.eval()
+        after = model.forward(x)
+        np.testing.assert_allclose(before, after, atol=1e-8)
+
+    def test_randomize_tucker_model(self):
+        model = small_conv_model()
+        randomize_tucker_model(model, {"layer0": (4, 2), "layer2": (4, 4)})
+        assert isinstance(find_module(model, "layer0"), TuckerConv2d)
+
+    def test_direct_train_runs(self, tiny_dataset):
+        train_data, test_data = tiny_dataset
+        model = small_conv_model()
+        _, hist = direct_train_tucker(
+            model, {"layer2": (4, 4)}, train_data, test_data,
+            epochs=2, batch_size=16,
+        )
+        assert 0.0 <= hist.final_test_accuracy <= 1.0
+
+    def test_decompose_and_finetune_runs(self, tiny_dataset):
+        train_data, test_data = tiny_dataset
+        model = small_conv_model()
+        train_model(model, train_data, epochs=2, batch_size=16, seed=0)
+        _, hist = decompose_and_finetune(
+            model, {"layer2": (4, 4)}, train_data, test_data,
+            epochs=1, batch_size=16,
+        )
+        assert 0.0 <= hist.final_test_accuracy <= 1.0
+
+
+class TestBudgetSearch:
+    def _sites(self, tiny_dataset):
+        model = build_model("resnet_tiny", num_classes=4, seed=0)
+        return trace_conv_sites(model, (8, 8))
+
+    def test_ranks_meet_budget(self, tiny_dataset):
+        sites = self._sites(tiny_dataset)
+        for budget in (0.3, 0.5, 0.7):
+            rank_map = uniform_tucker_ranks_for_budget(sites, budget)
+            achieved = achieved_tucker_reduction(sites, rank_map)
+            assert achieved >= budget - 0.02
+
+    def test_higher_budget_smaller_ranks(self, tiny_dataset):
+        sites = self._sites(tiny_dataset)
+        light = uniform_tucker_ranks_for_budget(sites, 0.3)
+        heavy = uniform_tucker_ranks_for_budget(sites, 0.8)
+        for name in light:
+            assert heavy[name][0] <= light[name][0]
+
+    def test_invalid_budget(self, tiny_dataset):
+        sites = self._sites(tiny_dataset)
+        with pytest.raises(ValueError):
+            uniform_tucker_ranks_for_budget(sites, 0.0)
+
+    def test_empty_sites(self):
+        with pytest.raises(ValueError):
+            uniform_tucker_ranks_for_budget([], 0.5)
+
+
+class TestComparators:
+    def _pretrained(self, tiny_dataset):
+        train_data, test_data = tiny_dataset
+        model = build_model("resnet_tiny", num_classes=4, seed=0)
+        train_model(model, train_data, epochs=3, batch_size=16, seed=0)
+        baseline = evaluate(model, test_data)
+        sites = trace_conv_sites(model, (8, 8))
+        return model, sites, train_data, test_data, baseline
+
+    def test_std_tkd_report(self, tiny_dataset):
+        model, sites, train_data, test_data, baseline = self._pretrained(tiny_dataset)
+        report = StdTKDComparator().compress(
+            model, sites, train_data, test_data,
+            budget=0.5, baseline_accuracy=baseline, epochs=1, batch_size=16,
+        )
+        assert report.method == "Std. TKD"
+        assert report.flops_reduction >= 0.45
+        assert 0.0 <= report.accuracy <= 1.0
+
+    def test_fpgm_masks_filters(self, tiny_dataset):
+        model, sites, train_data, test_data, baseline = self._pretrained(tiny_dataset)
+        report = FPGMComparator().compress(
+            model, sites, train_data, test_data,
+            budget=0.5, baseline_accuracy=baseline, epochs=1, batch_size=16,
+        )
+        # Some filters are exactly zero after masked finetuning.
+        zero_filters = 0
+        for s in sites:
+            norms = np.linalg.norm(
+                s.layer.weight.data.reshape(s.layer.weight.data.shape[0], -1),
+                axis=1,
+            )
+            zero_filters += int(np.sum(norms == 0.0))
+        assert zero_filters > 0
+        assert report.flops_reduction > 0.2
+
+    def test_fpgm_median_distances(self, rng):
+        w = rng.standard_normal((5, 3, 3, 3))
+        d = FPGMComparator.median_distances(w)
+        assert d.shape == (5,)
+        assert np.all(d >= 0)
+
+    def test_tdc_comparator_produces_tucker_model(self, tiny_dataset):
+        model, sites, train_data, test_data, baseline = self._pretrained(tiny_dataset)
+        report = TDCComparator().compress(
+            model, sites, train_data, test_data,
+            budget=0.5, baseline_accuracy=baseline, epochs=2, batch_size=16,
+        )
+        n_tucker = sum(
+            1 for _, m in model.named_modules() if isinstance(m, TuckerConv2d)
+        )
+        assert n_tucker == len(report.rank_map) > 0
+        assert report.flops_reduction >= 0.45

@@ -1,0 +1,126 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import (
+    Dataset,
+    SyntheticImageClassification,
+    batches,
+    make_cifar_like,
+    make_tiny_imagenet_like,
+    train_val_split,
+)
+
+
+class TestDataset:
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            Dataset(rng.standard_normal((4, 3, 8)), np.zeros(4, dtype=int))
+
+    def test_label_length_validation(self, rng):
+        with pytest.raises(ValueError):
+            Dataset(rng.standard_normal((4, 3, 8, 8)), np.zeros(3, dtype=int))
+
+    def test_num_classes(self, rng):
+        ds = Dataset(rng.standard_normal((4, 1, 2, 2)), np.array([0, 2, 1, 2]))
+        assert ds.num_classes == 3
+
+
+class TestGenerator:
+    def test_determinism(self):
+        task = SyntheticImageClassification(seed=3)
+        a = task.sample(16, seed=5)
+        b = SyntheticImageClassification(seed=3).sample(16, seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        task = SyntheticImageClassification(seed=3)
+        a = task.sample(16, seed=5)
+        b = task.sample(16, seed=6)
+        assert not np.allclose(a.images, b.images)
+
+    def test_normalization(self):
+        ds = SyntheticImageClassification(seed=0).sample(64, seed=1)
+        assert abs(float(ds.images.mean())) < 1e-8
+        assert float(ds.images.std()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_all_classes_represented(self):
+        ds = SyntheticImageClassification(num_classes=4, seed=0).sample(200, seed=1)
+        assert set(np.unique(ds.labels)) == {0, 1, 2, 3}
+
+    def test_class_signal_exists(self):
+        """Same-class mean images are more similar than cross-class."""
+        task = SyntheticImageClassification(num_classes=2, noise=0.1, seed=0)
+        ds = task.sample(200, seed=1)
+        m0 = ds.images[ds.labels == 0].mean(axis=0)
+        m1 = ds.images[ds.labels == 1].mean(axis=0)
+        assert np.linalg.norm(m0 - m1) > 0.05
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            SyntheticImageClassification(noise=-1.0)
+
+    @given(st.integers(min_value=1, max_value=32))
+    @settings(max_examples=10, deadline=None)
+    def test_sample_count(self, n):
+        ds = SyntheticImageClassification(image_size=6, seed=0).sample(n, seed=0)
+        assert len(ds) == n
+
+
+class TestFactories:
+    def test_cifar_like_shapes(self):
+        train, test = make_cifar_like(n_train=32, n_test=16, image_size=10)
+        assert train.images.shape == (32, 3, 10, 10)
+        assert test.images.shape == (16, 3, 10, 10)
+
+    def test_tiny_imagenet_like(self):
+        train, test = make_tiny_imagenet_like(
+            n_train=16, n_test=8, image_size=12, num_classes=5
+        )
+        assert train.images.shape[2] == 12
+        assert train.labels.max() < 5
+
+    def test_train_test_disjoint_streams(self):
+        train, test = make_cifar_like(n_train=16, n_test=16, image_size=8)
+        assert not np.allclose(train.images, test.images)
+
+
+class TestSplitAndBatches:
+    def test_split_sizes(self):
+        ds = SyntheticImageClassification(image_size=6, seed=0).sample(20, seed=0)
+        tr, va = train_val_split(ds, val_fraction=0.25, seed=0)
+        assert len(tr) == 15 and len(va) == 5
+
+    def test_split_validation(self):
+        ds = SyntheticImageClassification(image_size=6, seed=0).sample(8, seed=0)
+        with pytest.raises(ValueError):
+            train_val_split(ds, val_fraction=1.5)
+
+    def test_batches_cover_dataset(self):
+        ds = SyntheticImageClassification(image_size=6, seed=0).sample(10, seed=0)
+        seen = 0
+        for x, y in batches(ds, 4, seed=0):
+            seen += len(y)
+            assert x.shape[0] == y.shape[0]
+        assert seen == 10
+
+    def test_batches_shuffle_determinism(self):
+        ds = SyntheticImageClassification(image_size=6, seed=0).sample(12, seed=0)
+        b1 = [y for _, y in batches(ds, 4, seed=9)]
+        b2 = [y for _, y in batches(ds, 4, seed=9)]
+        for a, b in zip(b1, b2):
+            np.testing.assert_array_equal(a, b)
+
+    def test_batches_no_shuffle_order(self):
+        ds = SyntheticImageClassification(image_size=6, seed=0).sample(8, seed=0)
+        ys = np.concatenate([y for _, y in batches(ds, 3, shuffle=False)])
+        np.testing.assert_array_equal(ys, ds.labels)
+
+    def test_invalid_batch_size(self):
+        ds = SyntheticImageClassification(image_size=6, seed=0).sample(8, seed=0)
+        with pytest.raises(ValueError):
+            list(batches(ds, 0))

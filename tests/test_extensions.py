@@ -1,0 +1,147 @@
+"""Tests for the extension features: TuckerLinear (Sec. 2.2) and
+concurrent-convolution rank selection (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.codesign.concurrent import (
+    ConcurrentGroup,
+    concurrent_latency,
+    inception_group,
+    select_ranks_concurrent,
+)
+from repro.codesign.rank_selection import LayerShape
+from repro.gpusim.device import A100
+from repro.nn.gradcheck import check_module_gradients
+from repro.nn.layers import Linear
+from repro.nn.tucker_linear import TuckerLinear, _factor_pair
+
+
+class TestFactorPair:
+    def test_balanced(self):
+        assert _factor_pair(12) == (3, 4)
+        assert _factor_pair(16) == (4, 4)
+        assert _factor_pair(7) == (1, 7)
+
+
+class TestTuckerLinear:
+    def test_forward_shape(self, rng):
+        layer = TuckerLinear(12, 8, ranks=(2, 2, 2, 2), seed=0)
+        y = layer.forward(rng.standard_normal((3, 12)))
+        assert y.shape == (3, 8)
+
+    def test_full_rank_equals_dense(self, rng):
+        dense = Linear(12, 8, seed=0)
+        tucker = TuckerLinear.from_linear(
+            dense, ranks=(8, 8, 12, 12), n_iter=5
+        )
+        x = rng.standard_normal((4, 12))
+        np.testing.assert_allclose(
+            tucker.forward(x), dense.forward(x), atol=1e-8
+        )
+
+    def test_dense_reconstruction_matches_forward(self, rng):
+        layer = TuckerLinear(12, 8, ranks=(2, 2, 3, 2), bias=False, seed=0)
+        x = rng.standard_normal((2, 12))
+        w = layer.to_dense_weight()
+        np.testing.assert_allclose(layer.forward(x), x @ w.T, atol=1e-10)
+
+    def test_gradients(self, rng):
+        layer = TuckerLinear(8, 6, ranks=(2, 2, 2, 2), seed=0)
+        check_module_gradients(layer, rng.standard_normal((2, 8)))
+
+    def test_compression_ratio(self):
+        layer = TuckerLinear(256, 256, ranks=(4, 4, 4, 4))
+        assert layer.compression_ratio() > 10.0
+
+    def test_rank_clipping(self):
+        layer = TuckerLinear(6, 4, ranks=(100, 100, 100, 100))
+        assert all(r <= d for r, d in zip(layer.ranks, (2, 2, 2, 3)))
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            TuckerLinear(12, 8, ranks=(2, 2, 2, 2), in_shape=(5, 2))
+        with pytest.raises(ValueError):
+            TuckerLinear(12, 8, ranks=(2, 2))
+
+    def test_bias_transfer(self, rng):
+        dense = Linear(12, 8, seed=0)
+        dense.bias.data[...] = rng.standard_normal(8)
+        tucker = TuckerLinear.from_linear(dense, ranks=(8, 8, 12, 12))
+        np.testing.assert_array_equal(tucker.bias.data, dense.bias.data)
+
+    def test_input_validation(self, rng):
+        layer = TuckerLinear(12, 8, ranks=(2, 2, 2, 2))
+        with pytest.raises(ValueError):
+            layer.forward(rng.standard_normal((2, 10)))
+
+
+class TestConcurrentLatency:
+    def test_critical_branch_bound(self):
+        lat = concurrent_latency([1e-3, 1e-5], [1e6, 1e4], A100)
+        assert lat == pytest.approx(1e-3)
+
+    def test_aggregate_bound(self):
+        """Many equal branches cannot beat total work at peak."""
+        flops = [A100.peak_flops * 1e-4] * 16   # each 100us of peak work
+        lats = [1.2e-4] * 16                    # each alone takes 120us
+        lat = concurrent_latency(lats, flops, A100)
+        assert lat >= 16 * 1e-4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            concurrent_latency([1.0], [1.0, 2.0], A100)
+        with pytest.raises(ValueError):
+            concurrent_latency([], [], A100)
+
+
+class TestConcurrentSelection:
+    @pytest.fixture(scope="class")
+    def group(self):
+        return inception_group(
+            "mixed3a", in_channels=128, h=14, w=14,
+            branch_out=[96, 128, 64], kernel_sizes=[3, 3, 3],
+        )
+
+    def test_group_builder(self, group):
+        assert len(group.branches) == 3
+        assert group.branches[0].c == 128
+
+    def test_selection_meets_budget(self, group):
+        decision = select_ranks_concurrent(group, A100, budget=0.5,
+                                           rank_step=32)
+        assert decision.achieved_reduction >= 0.5 - 1e-9
+        assert len(decision.ranks) == 3
+
+    def test_group_latency_bounded_by_branches(self, group):
+        decision = select_ranks_concurrent(group, A100, budget=0.5,
+                                           rank_step=32)
+        assert decision.group_latency >= max(decision.branch_latencies) - 1e-12
+
+    def test_laxer_budget_bigger_ranks(self, group):
+        tight = select_ranks_concurrent(group, A100, budget=0.8, rank_step=32)
+        loose = select_ranks_concurrent(group, A100, budget=0.3, rank_step=32)
+        assert sum(d1 + d2 for d1, d2 in loose.ranks) >= sum(
+            d1 + d2 for d1, d2 in tight.ranks
+        )
+
+    def test_impossible_budget_raises(self, group):
+        with pytest.raises(ValueError):
+            select_ranks_concurrent(group, A100, budget=0.999, rank_step=32)
+
+    def test_invalid_budget(self, group):
+        with pytest.raises(ValueError):
+            select_ranks_concurrent(group, A100, budget=0.0)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            ConcurrentGroup(name="x", branches=())
+
+    def test_mismatched_builder_args(self):
+        with pytest.raises(ValueError):
+            inception_group("x", 64, 14, 14, [32, 64], [3])
+
+    def test_deterministic(self, group):
+        d1 = select_ranks_concurrent(group, A100, budget=0.5, rank_step=32)
+        d2 = select_ranks_concurrent(group, A100, budget=0.5, rank_step=32)
+        assert d1.ranks == d2.ranks

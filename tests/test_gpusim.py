@@ -1,0 +1,209 @@
+"""Tests for the GPU simulator: devices, occupancy, latency engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.device import A100, RTX2080TI, get_device
+from repro.gpusim.engine import KernelLaunch, simulate_kernel, simulate_sequence
+from repro.gpusim.occupancy import compute_occupancy
+
+
+class TestDevices:
+    def test_a100_peak(self):
+        # 108 SMs x 64 lanes x 2 x 1.41 GHz ~ 19.5 TFLOP/s
+        assert A100.peak_flops == pytest.approx(19.5e12, rel=0.01)
+
+    def test_2080ti_peak(self):
+        assert RTX2080TI.peak_flops == pytest.approx(13.45e12, rel=0.01)
+
+    def test_total_threads(self):
+        assert A100.total_threads == 108 * 2048
+        assert RTX2080TI.total_threads == 68 * 1024
+
+    def test_lookup(self):
+        assert get_device("a100") is A100
+        assert get_device("2080Ti") is RTX2080TI
+        with pytest.raises(KeyError):
+            get_device("h100")
+
+    def test_model_top_fraction_paper_values(self):
+        assert A100.model_top_fraction == 0.05
+        assert RTX2080TI.model_top_fraction == 0.15
+
+
+class TestOccupancy:
+    def test_thread_limit(self):
+        occ = compute_occupancy(A100, threads_per_block=1024, regs_per_thread=0)
+        assert occ.blocks_per_sm == 2
+        assert occ.limiting_factor == "threads"
+
+    def test_block_limit(self):
+        occ = compute_occupancy(A100, threads_per_block=32, regs_per_thread=0)
+        assert occ.blocks_per_sm == 32
+        assert occ.limiting_factor == "blocks"
+
+    def test_smem_limit(self):
+        occ = compute_occupancy(
+            A100, threads_per_block=64, smem_per_block=100 * 1024,
+            regs_per_thread=0,
+        )
+        assert occ.blocks_per_sm == 1
+        assert occ.limiting_factor == "shared_memory"
+
+    def test_register_limit(self):
+        occ = compute_occupancy(A100, threads_per_block=256, regs_per_thread=255)
+        assert occ.limiting_factor == "registers"
+        assert occ.blocks_per_sm == 65536 // (255 * 256)
+
+    def test_warp_quantization(self):
+        occ33 = compute_occupancy(A100, threads_per_block=33, regs_per_thread=0)
+        occ64 = compute_occupancy(A100, threads_per_block=64, regs_per_thread=0)
+        assert occ33.blocks_per_sm == occ64.blocks_per_sm
+
+    def test_oversized_block_raises(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(A100, threads_per_block=2048)
+
+    def test_oversized_smem_raises(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(A100, threads_per_block=32,
+                              smem_per_block=200 * 1024)
+
+    def test_fraction(self):
+        occ = compute_occupancy(A100, threads_per_block=1024, regs_per_thread=0)
+        assert occ.fraction(A100) == pytest.approx(1.0)
+
+
+def make_launch(**kw):
+    base = dict(
+        n_blocks=108, threads_per_block=256, flops_per_block=1e6,
+        read_bytes=1e6, write_bytes=1e5, regs_per_thread=32,
+    )
+    base.update(kw)
+    return KernelLaunch(**base)
+
+
+class TestEngine:
+    def test_breakdown_components_sum(self):
+        lb = simulate_kernel(A100, make_launch())
+        assert lb.total == pytest.approx(
+            max(lb.compute, lb.memory) + lb.sync + lb.atomic + lb.launch
+        )
+
+    def test_launch_overhead_toggle(self):
+        with_l = simulate_kernel(A100, make_launch()).total
+        without = simulate_kernel(
+            A100, make_launch(), include_launch_overhead=False
+        ).total
+        assert with_l - without == pytest.approx(A100.kernel_launch_overhead)
+
+    def test_more_flops_more_time(self):
+        t1 = simulate_kernel(A100, make_launch(flops_per_block=1e6)).compute
+        t2 = simulate_kernel(A100, make_launch(flops_per_block=4e6)).compute
+        assert t2 > t1
+
+    def test_wave_quantization(self):
+        few = simulate_kernel(A100, make_launch(n_blocks=108))
+        # 8 blocks/SM resident for 256-thread blocks -> capacity 864.
+        many = simulate_kernel(A100, make_launch(n_blocks=865))
+        assert few.waves == 1
+        assert many.waves == 2
+
+    def test_saturated_throughput_matches_peak(self):
+        """A massively parallel FMA-only kernel should hit device peak."""
+        flops_per_block = 1e8
+        n_blocks = 8 * A100.n_sms
+        lb = simulate_kernel(
+            A100,
+            make_launch(
+                n_blocks=n_blocks, flops_per_block=flops_per_block,
+                read_bytes=0, write_bytes=0, threads_per_block=256,
+            ),
+        )
+        achieved = n_blocks * flops_per_block / lb.compute
+        assert achieved == pytest.approx(A100.peak_flops, rel=0.01)
+
+    def test_memory_bound_kernel(self):
+        lb = simulate_kernel(
+            A100, make_launch(flops_per_block=1.0, read_bytes=2e9)
+        )
+        assert lb.total >= 2e9 / A100.dram_bandwidth
+
+    def test_atomic_conflict_penalty(self):
+        base = simulate_kernel(
+            A100, make_launch(atomic_bytes=1e7, atomic_conflict_degree=1)
+        ).atomic
+        contended = simulate_kernel(
+            A100, make_launch(atomic_bytes=1e7, atomic_conflict_degree=8)
+        ).atomic
+        assert contended > base
+
+    def test_sync_cost_scales(self):
+        s1 = simulate_kernel(A100, make_launch(syncs_per_block=1)).sync
+        s2 = simulate_kernel(A100, make_launch(syncs_per_block=100)).sync
+        assert s2 > s1
+
+    def test_stalls_hidden_by_occupancy(self):
+        """The same stall count hurts less when many warps are resident."""
+        low = simulate_kernel(
+            A100,
+            make_launch(n_blocks=8, threads_per_block=32,
+                        global_stalls_per_block=64),
+        ).sync
+        high = simulate_kernel(
+            A100,
+            make_launch(n_blocks=3456, threads_per_block=256,
+                        global_stalls_per_block=64),
+        ).sync
+        assert high < low
+
+    def test_block_must_fit(self):
+        with pytest.raises(ValueError):
+            simulate_kernel(
+                A100,
+                make_launch(threads_per_block=1024, regs_per_thread=255),
+            )
+
+    def test_validation_rejects_negative(self):
+        with pytest.raises(ValueError):
+            simulate_kernel(A100, make_launch(read_bytes=-1.0))
+        with pytest.raises(ValueError):
+            simulate_kernel(A100, make_launch(atomic_conflict_degree=0))
+
+    def test_sequence_sums(self):
+        launches = [make_launch(), make_launch(flops_per_block=2e6)]
+        total = simulate_sequence(A100, launches)
+        parts = sum(simulate_kernel(A100, l).total for l in launches)
+        assert total == pytest.approx(parts)
+
+    @given(
+        st.integers(min_value=1, max_value=4096),
+        st.integers(min_value=32, max_value=1024),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_latency_always_positive_and_finite(self, n_blocks, threads):
+        lb = simulate_kernel(
+            A100,
+            make_launch(n_blocks=n_blocks, threads_per_block=threads,
+                        regs_per_thread=16),
+        )
+        assert lb.total > 0
+        assert np.isfinite(lb.total)
+
+    @given(st.floats(min_value=1e3, max_value=1e9))
+    @settings(max_examples=20, deadline=None)
+    def test_compute_monotone_in_flops(self, flops):
+        a = simulate_kernel(A100, make_launch(flops_per_block=flops)).compute
+        b = simulate_kernel(A100, make_launch(flops_per_block=flops * 2)).compute
+        assert b >= a
+
+    def test_slower_device_slower(self):
+        # Use a grid large enough that wave quantization is negligible
+        # on both devices; A100's higher peak must then win.
+        launch = make_launch(n_blocks=50000, flops_per_block=1e7)
+        assert (
+            simulate_kernel(RTX2080TI, launch).compute
+            > simulate_kernel(A100, launch).compute
+        )

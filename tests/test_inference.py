@@ -1,0 +1,106 @@
+"""Tests for execution plans and end-to-end latency estimation."""
+
+import pytest
+
+from repro.codesign.pipeline import layer_shapes_from_spec
+from repro.codesign.rank_selection import select_ranks
+from repro.gpusim.device import A100
+from repro.inference.engine import estimate_e2e
+from repro.inference.plan import (
+    CORE_BACKENDS,
+    plan_dense_model,
+    plan_tucker_model,
+)
+from repro.models.arch_specs import get_model_spec
+
+
+@pytest.fixture(scope="module")
+def resnet18_setup():
+    spec = get_model_spec("resnet18")
+    plan = select_ranks(layer_shapes_from_spec(spec), A100, budget=0.65)
+    return spec, plan
+
+
+class TestDensePlan:
+    def test_covers_all_layers(self, resnet18_setup):
+        spec, _ = resnet18_setup
+        plan = plan_dense_model(spec, A100)
+        conv_kernels = [k for k in plan.kernels if k.kind in ("conv", "pointwise")]
+        assert len(conv_kernels) == len(spec.convs())
+
+    def test_total_is_sum(self, resnet18_setup):
+        spec, _ = resnet18_setup
+        plan = plan_dense_model(spec, A100)
+        assert plan.total_latency() == pytest.approx(
+            sum(k.latency for k in plan.kernels)
+        )
+
+    def test_bn_relu_toggle(self, resnet18_setup):
+        spec, _ = resnet18_setup
+        with_bn = plan_dense_model(spec, A100, include_bn_relu=True)
+        without = plan_dense_model(spec, A100, include_bn_relu=False)
+        assert with_bn.total_latency() > without.total_latency()
+
+    def test_latency_by_kind(self, resnet18_setup):
+        spec, _ = resnet18_setup
+        plan = plan_dense_model(spec, A100)
+        by_kind = plan.latency_by_kind()
+        assert "conv" in by_kind and by_kind["conv"] > 0
+
+
+class TestTuckerPlan:
+    def test_decomposed_layer_has_three_kernels(self, resnet18_setup):
+        spec, rank_plan = resnet18_setup
+        plan = plan_tucker_model(spec, rank_plan, A100, core_backend="tdc-model")
+        decomposed = [d for d in rank_plan.decisions if d.decomposed]
+        cores = [k for k in plan.kernels if k.kind == "core"]
+        assert len(cores) == len(decomposed)
+        pw = [k for k in plan.kernels if k.kind == "pointwise"]
+        assert len(pw) >= 2 * len(decomposed)
+
+    @pytest.mark.parametrize("backend", CORE_BACKENDS)
+    def test_all_backends_work(self, resnet18_setup, backend):
+        spec, rank_plan = resnet18_setup
+        plan = plan_tucker_model(spec, rank_plan, A100, core_backend=backend)
+        assert plan.total_latency() > 0
+
+    def test_unknown_backend_raises(self, resnet18_setup):
+        spec, rank_plan = resnet18_setup
+        with pytest.raises(ValueError):
+            plan_tucker_model(spec, rank_plan, A100, core_backend="cutlass")
+
+    def test_oracle_at_least_as_fast_as_model(self, resnet18_setup):
+        spec, rank_plan = resnet18_setup
+        oracle = plan_tucker_model(spec, rank_plan, A100, core_backend="tdc-oracle")
+        model = plan_tucker_model(spec, rank_plan, A100, core_backend="tdc-model")
+        assert oracle.total_latency() <= model.total_latency() + 1e-12
+
+
+class TestE2E:
+    def test_paper_ordering_resnet18(self, resnet18_setup):
+        spec, rank_plan = resnet18_setup
+        res = estimate_e2e(spec, A100, rank_plan=rank_plan)
+        # The Fig. 8 bar ordering: original > TK-cuDNN > TK-TVM >= TDC.
+        assert res.original > res.tucker_tdc_oracle
+        assert res.tucker_cudnn > res.tucker_tdc_oracle
+        assert res.tucker_tvm >= res.tucker_tdc_oracle
+        assert res.tucker_tdc_model >= res.tucker_tdc_oracle
+
+    def test_speedup_accessors(self, resnet18_setup):
+        spec, rank_plan = resnet18_setup
+        res = estimate_e2e(spec, A100, rank_plan=rank_plan)
+        assert res.speedup_over_original() > 1.0
+        assert res.speedup_over_tucker_cudnn() > 1.0
+        assert res.speedup_over_tucker_tvm() >= 0.9
+        with pytest.raises(ValueError):
+            res.speedup_over_original("nonsense")
+
+    def test_as_milliseconds(self, resnet18_setup):
+        spec, rank_plan = resnet18_setup
+        res = estimate_e2e(spec, A100, rank_plan=rank_plan)
+        ms = res.as_milliseconds()
+        assert set(ms) == {
+            "original", "tucker_cudnn", "tucker_tvm",
+            "tucker_tdc_oracle", "tucker_tdc_model",
+        }
+        assert ms["original"] == pytest.approx(res.original * 1e3)

@@ -1,0 +1,221 @@
+"""Tests for the model zoo: blocks, trainable models, full-scale specs."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    PAPER_CONV_SHAPES,
+    available_models,
+    build_model,
+    find_module,
+    get_model_spec,
+    model_conv_flops,
+    replace_module,
+    trace_conv_sites,
+)
+from repro.models.arch_specs import LayerSpec
+from repro.models.blocks import BasicBlock, Bottleneck, DenseBlock, Transition
+from repro.nn import Conv2d, TuckerConv2d
+from repro.nn.gradcheck import check_module_gradients
+from repro.nn.loss import CrossEntropyLoss
+
+
+class TestBlocks:
+    def test_basic_block_identity_shortcut(self, rng):
+        blk = BasicBlock(8, 8, stride=1, seed=0)
+        y = blk.forward(rng.standard_normal((2, 8, 6, 6)))
+        assert y.shape == (2, 8, 6, 6)
+
+    def test_basic_block_projection_shortcut(self, rng):
+        blk = BasicBlock(4, 8, stride=2, seed=0)
+        y = blk.forward(rng.standard_normal((2, 4, 6, 6)))
+        assert y.shape == (2, 8, 3, 3)
+
+    def test_basic_block_gradients(self, rng):
+        blk = BasicBlock(3, 4, stride=2, seed=0)
+        check_module_gradients(
+            blk, rng.standard_normal((2, 3, 6, 6)), atol=1e-4, rtol=1e-3,
+            max_entries=20,
+        )
+
+    def test_bottleneck_shapes(self, rng):
+        blk = Bottleneck(8, 4, stride=1, seed=0)
+        y = blk.forward(rng.standard_normal((1, 8, 5, 5)))
+        assert y.shape == (1, 16, 5, 5)  # width * expansion
+
+    def test_bottleneck_gradients(self, rng):
+        blk = Bottleneck(4, 2, stride=1, seed=0)
+        check_module_gradients(
+            blk, rng.standard_normal((1, 4, 5, 5)), atol=1e-4, rtol=1e-3,
+            max_entries=15,
+        )
+
+    def test_dense_block_concatenation(self, rng):
+        blk = DenseBlock(6, n_layers=3, growth=4, seed=0)
+        y = blk.forward(rng.standard_normal((2, 6, 5, 5)))
+        assert y.shape == (2, 6 + 3 * 4, 5, 5)
+        assert blk.out_channels == 18
+
+    def test_dense_block_gradients(self, rng):
+        blk = DenseBlock(4, n_layers=2, growth=3, seed=0)
+        check_module_gradients(
+            blk, rng.standard_normal((1, 4, 5, 5)), atol=1e-4, rtol=1e-3,
+            max_entries=15,
+        )
+
+    def test_transition_halves_spatial(self, rng):
+        tr = Transition(8, 4, seed=0)
+        y = tr.forward(rng.standard_normal((1, 8, 6, 6)))
+        assert y.shape == (1, 4, 3, 3)
+
+
+class TestTrainableModels:
+    @pytest.mark.parametrize("name", ["resnet_tiny", "vgg_tiny", "densenet_tiny"])
+    def test_tiny_models_forward_backward(self, name, rng):
+        model = build_model(name, num_classes=4, seed=0)
+        x = rng.standard_normal((2, 3, 16, 16))
+        logits = model.forward(x)
+        assert logits.shape == (2, 4)
+        loss = CrossEntropyLoss()
+        loss(logits, np.array([0, 1]))
+        grad_in = model.backward(loss.backward())
+        assert grad_in.shape == x.shape
+        assert np.all(np.isfinite(grad_in))
+
+    @pytest.mark.parametrize(
+        "name,size",
+        [("resnet20_slim", 16), ("resnet18_slim", 16), ("resnet50_slim", 16),
+         ("vgg16_slim", 32), ("densenet121_slim", 16),
+         ("densenet201_slim", 16)],
+    )
+    def test_slim_models_forward(self, name, size, rng):
+        # VGG-16 has five 2x2 pools, so it needs at least 32px input.
+        model = build_model(name, num_classes=10, seed=0)
+        y = model.forward(rng.standard_normal((1, 3, size, size)))
+        assert y.shape == (1, 10)
+        assert np.all(np.isfinite(y))
+
+    def test_registry_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+    def test_registry_lists_models(self):
+        names = available_models()
+        assert "resnet20" in names and "vgg16_slim" in names
+
+    def test_deterministic_construction(self, rng):
+        m1 = build_model("resnet_tiny", seed=7)
+        m2 = build_model("resnet_tiny", seed=7)
+        x = rng.standard_normal((1, 3, 16, 16))
+        np.testing.assert_array_equal(m1.forward(x), m2.forward(x))
+
+    def test_different_seeds_differ(self, rng):
+        m1 = build_model("resnet_tiny", seed=1)
+        m2 = build_model("resnet_tiny", seed=2)
+        x = rng.standard_normal((1, 3, 16, 16))
+        assert not np.allclose(m1.forward(x), m2.forward(x))
+
+
+class TestIntrospection:
+    def test_trace_finds_convs(self):
+        model = build_model("resnet_tiny", seed=0)
+        sites = trace_conv_sites(model, (16, 16))
+        assert len(sites) >= 3
+        for s in sites:
+            assert s.layer.kernel_size > 1  # spatial_only default
+
+    def test_trace_records_resolutions(self):
+        model = build_model("resnet_tiny", seed=0)
+        sites = trace_conv_sites(model, (16, 16))
+        by_name = {s.name: s for s in sites}
+        assert by_name["stem.layer0"].height == 16
+
+    def test_trace_restores_forward(self, rng):
+        model = build_model("resnet_tiny", seed=0)
+        x = rng.standard_normal((1, 3, 16, 16))
+        before = model.forward(x)
+        trace_conv_sites(model, (16, 16))
+        after = model.forward(x)
+        np.testing.assert_array_equal(before, after)
+
+    def test_find_and_replace_module(self, rng):
+        model = build_model("resnet_tiny", seed=0)
+        sites = trace_conv_sites(model, (16, 16))
+        target = sites[1]
+        tucker = TuckerConv2d.from_conv(target.layer, rank_out=2, rank_in=2)
+        replace_module(model, target.name, tucker)
+        assert isinstance(find_module(model, target.name), TuckerConv2d)
+        y = model.forward(rng.standard_normal((1, 3, 16, 16)))
+        assert np.all(np.isfinite(y))
+
+    def test_replace_unknown_raises(self):
+        model = build_model("resnet_tiny", seed=0)
+        with pytest.raises(KeyError):
+            replace_module(model, "does.not.exist", Conv2d(2, 2, 1))
+
+    def test_model_conv_flops_decreases_after_compression(self):
+        model = build_model("resnet_tiny", seed=0)
+        before = model_conv_flops(model, (16, 16))
+        sites = trace_conv_sites(model, (16, 16))
+        for s in sites:
+            if s.in_channels >= 4 and s.out_channels >= 4:
+                replace_module(
+                    model, s.name,
+                    TuckerConv2d.from_conv(s.layer, rank_out=2, rank_in=2),
+                )
+        after = model_conv_flops(model, (16, 16))
+        assert after < before
+
+
+class TestArchSpecs:
+    # Published reference numbers (FLOPs with 2/MAC, params without BN).
+    REFERENCE = {
+        "resnet18": (3.6e9, 11.7e6),
+        "resnet50": (8.2e9, 25.5e6),
+        "vgg16": (30.9e9, 138.4e6),
+        "densenet121": (5.7e9, 7.9e6),
+        "densenet201": (8.6e9, 19.8e6),
+    }
+
+    @pytest.mark.parametrize("name", list(REFERENCE))
+    def test_flops_and_params_match_published(self, name):
+        spec = get_model_spec(name)
+        flops_ref, params_ref = self.REFERENCE[name]
+        assert spec.total_flops() == pytest.approx(flops_ref, rel=0.05)
+        assert spec.total_params() == pytest.approx(params_ref, rel=0.05)
+
+    def test_resnet18_structure(self):
+        spec = get_model_spec("resnet18")
+        convs = spec.convs()
+        assert convs[0].kernel == 7 and convs[0].stride == 2
+        assert len(spec.decomposable_convs()) == 16  # 8 blocks x 2 convs
+
+    def test_spatial_chain_consistent(self):
+        for name in self.REFERENCE:
+            spec = get_model_spec(name)
+            # The final pooling layer must see a positive spatial extent.
+            pools = [l for l in spec.layers if l.kind == "pool"]
+            assert pools[-1].height >= 1
+
+    def test_layer_spec_flops(self):
+        l = LayerSpec("x", "conv", 64, 128, 56, 56, 3, 1, 1)
+        assert l.flops() == 2 * 56 * 56 * 128 * 64 * 9
+
+    def test_layer_spec_out_size_stride(self):
+        l = LayerSpec("x", "conv", 3, 64, 224, 224, 7, 2, 3)
+        assert l.out_height == 112
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(KeyError):
+            get_model_spec("mobilenet")
+
+    def test_paper_shapes_inventory(self):
+        assert len(PAPER_CONV_SHAPES) == 18
+        assert (64, 32, 224, 224) in PAPER_CONV_SHAPES
+        assert (192, 160, 7, 7) in PAPER_CONV_SHAPES
+
+    def test_densenet_channel_growth(self):
+        spec = get_model_spec("densenet121")
+        # Final dense block ends at 1024 channels before the classifier.
+        fc = [l for l in spec.layers if l.kind == "fc"][0]
+        assert fc.in_channels == 1024

@@ -1,0 +1,209 @@
+"""Tests for the functional ops: im2col conv, pooling, softmax."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+
+
+@st.composite
+def conv_problems(draw):
+    b = draw(st.integers(1, 3))
+    c = draw(st.integers(1, 4))
+    n = draw(st.integers(1, 4))
+    h = draw(st.integers(3, 8))
+    w = draw(st.integers(3, 8))
+    k = draw(st.sampled_from([1, 3]))
+    stride = draw(st.sampled_from([1, 2]))
+    padding = draw(st.sampled_from([0, 1]))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return b, c, n, h, w, k, stride, padding, seed
+
+
+class TestConvForward:
+    @given(conv_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_im2col_matches_reference(self, prob):
+        b, c, n, h, w, k, stride, padding, seed = prob
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((b, c, h, w))
+        weight = rng.standard_normal((n, c, k, k))
+        y1, _ = F.conv2d_forward(x, weight, stride=stride, padding=padding)
+        y2 = F.conv2d_reference(x, weight, stride=stride, padding=padding)
+        np.testing.assert_allclose(y1, y2, atol=1e-10)
+
+    def test_output_shape(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8))
+        w = rng.standard_normal((5, 3, 3, 3))
+        y, _ = F.conv2d_forward(x, w, stride=2, padding=1)
+        assert y.shape == (2, 5, 4, 4)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d_forward(
+                rng.standard_normal((1, 3, 5, 5)),
+                rng.standard_normal((2, 4, 3, 3)),
+            )
+
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(ValueError):
+            F.conv_out_size(2, 5, 1, 0)
+
+    def test_identity_kernel(self, rng):
+        x = rng.standard_normal((1, 1, 5, 5))
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 1.0
+        y, _ = F.conv2d_forward(x, w, padding=1)
+        np.testing.assert_allclose(y, x, atol=1e-12)
+
+
+class TestConvBackward:
+    def test_grad_shapes(self, rng):
+        x = rng.standard_normal((2, 3, 6, 6))
+        w = rng.standard_normal((4, 3, 3, 3))
+        y, cols = F.conv2d_forward(x, w, padding=1)
+        gx, gw = F.conv2d_backward(np.ones_like(y), cols, w, x.shape, 1, 1)
+        assert gx.shape == x.shape
+        assert gw.shape == w.shape
+
+    def test_grad_x_numeric(self, rng):
+        x = rng.standard_normal((1, 2, 5, 5))
+        w = rng.standard_normal((3, 2, 3, 3))
+        probe = rng.standard_normal((1, 3, 5, 5))
+
+        def loss(xv):
+            y, _ = F.conv2d_forward(xv, w, padding=1)
+            return float(np.sum(y * probe))
+
+        y, cols = F.conv2d_forward(x, w, padding=1)
+        gx, _ = F.conv2d_backward(probe, cols, w, x.shape, 1, 1)
+        eps = 1e-6
+        for idx in [(0, 0, 0, 0), (0, 1, 2, 3), (0, 0, 4, 4)]:
+            xp = x.copy(); xp[idx] += eps
+            xm = x.copy(); xm[idx] -= eps
+            num = (loss(xp) - loss(xm)) / (2 * eps)
+            assert gx[idx] == pytest.approx(num, abs=1e-5)
+
+    def test_grad_w_numeric(self, rng):
+        x = rng.standard_normal((1, 2, 5, 5))
+        w = rng.standard_normal((2, 2, 3, 3))
+        probe = rng.standard_normal((1, 2, 3, 3))
+
+        def loss(wv):
+            y, _ = F.conv2d_forward(x, wv, stride=1, padding=0)
+            return float(np.sum(y * probe))
+
+        y, cols = F.conv2d_forward(x, w)
+        _, gw = F.conv2d_backward(probe, cols, w, x.shape)
+        eps = 1e-6
+        for idx in [(0, 0, 0, 0), (1, 1, 2, 2)]:
+            wp = w.copy(); wp[idx] += eps
+            wm = w.copy(); wm[idx] -= eps
+            num = (loss(wp) - loss(wm)) / (2 * eps)
+            assert gw[idx] == pytest.approx(num, abs=1e-5)
+
+    def test_col2im_adjoint_property(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — exact adjointness."""
+        x = rng.standard_normal((1, 2, 6, 6))
+        cols = F.im2col(x, 3, 3, stride=2, padding=1)
+        y = rng.standard_normal(cols.shape)
+        lhs = float(np.sum(cols * y))
+        back = F.col2im(y, x.shape, 3, 3, stride=2, padding=1)
+        rhs = float(np.sum(x * back))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestPointwise:
+    def test_matches_conv(self, rng):
+        x = rng.standard_normal((2, 4, 5, 5))
+        w2 = rng.standard_normal((6, 4))
+        y1 = F.pointwise_conv_forward(x, w2)
+        y2, _ = F.conv2d_forward(x, w2[:, :, None, None])
+        np.testing.assert_allclose(y1, y2, atol=1e-12)
+
+    def test_backward_numeric(self, rng):
+        x = rng.standard_normal((1, 3, 4, 4))
+        w = rng.standard_normal((2, 3))
+        probe = rng.standard_normal((1, 2, 4, 4))
+        gx, gw = F.pointwise_conv_backward(probe, x, w)
+        eps = 1e-6
+        xp = x.copy(); xp[0, 1, 2, 2] += eps
+        xm = x.copy(); xm[0, 1, 2, 2] -= eps
+        num = (np.sum(F.pointwise_conv_forward(xp, w) * probe)
+               - np.sum(F.pointwise_conv_forward(xm, w) * probe)) / (2 * eps)
+        assert gx[0, 1, 2, 2] == pytest.approx(num, abs=1e-6)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            F.pointwise_conv_forward(
+                rng.standard_normal((1, 3, 4, 4)), rng.standard_normal((2, 4))
+            )
+
+
+class TestPooling:
+    def test_maxpool_known(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        y, _ = F.maxpool2d_forward(x, 2, 2)
+        np.testing.assert_array_equal(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_backward_routes_to_max(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        y, arg = F.maxpool2d_forward(x, 2, 2)
+        g = F.maxpool2d_backward(np.ones_like(y), arg, x.shape, 2, 2)
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1
+        np.testing.assert_array_equal(g[0, 0], expected)
+
+    def test_maxpool_padding_never_wins(self, rng):
+        x = -np.abs(rng.standard_normal((1, 1, 4, 4))) - 1.0
+        y, _ = F.maxpool2d_forward(x, 3, 2, padding=1)
+        assert np.all(y < 0)  # padded zeros must not appear as maxima
+
+    def test_avgpool_known(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        y = F.avgpool2d_forward(x, 2, 2)
+        np.testing.assert_allclose(y[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avgpool_backward_uniform(self):
+        x = np.zeros((1, 1, 4, 4))
+        g = F.avgpool2d_backward(np.ones((1, 1, 2, 2)), x.shape, 2, 2)
+        np.testing.assert_allclose(g, np.full((1, 1, 4, 4), 0.25))
+
+    def test_overlapping_maxpool(self, rng):
+        x = rng.standard_normal((1, 2, 6, 6))
+        y, _ = F.maxpool2d_forward(x, 3, 2, padding=1)
+        assert y.shape == (1, 2, 3, 3)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_avgpool_grad_sum_preserved(self, seed):
+        rng = np.random.default_rng(seed)
+        gy = rng.standard_normal((1, 2, 2, 2))
+        gx = F.avgpool2d_backward(gy, (1, 2, 4, 4), 2, 2)
+        assert float(gx.sum()) == pytest.approx(float(gy.sum()), rel=1e-10)
+
+
+class TestSoftmax:
+    def test_log_softmax_normalizes(self, rng):
+        logits = rng.standard_normal((4, 7))
+        p = np.exp(F.log_softmax(logits))
+        np.testing.assert_allclose(p.sum(axis=1), np.ones(4), atol=1e-12)
+
+    def test_softmax_stability(self):
+        logits = np.array([[1e4, 0.0, -1e4]])
+        p = F.softmax(logits)
+        assert np.all(np.isfinite(p))
+        assert p[0, 0] == pytest.approx(1.0)
+
+    def test_softmax_shift_invariance(self, rng):
+        logits = rng.standard_normal((3, 5))
+        np.testing.assert_allclose(
+            F.softmax(logits), F.softmax(logits + 100.0), atol=1e-12
+        )
+
+    def test_relu(self):
+        np.testing.assert_array_equal(
+            F.relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0]
+        )

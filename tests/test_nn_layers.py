@@ -1,0 +1,283 @@
+"""Gradient checks and behaviour tests for every layer type."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    TuckerConv2d,
+)
+from repro.nn.gradcheck import check_module_gradients
+from repro.nn.module import Parameter
+
+
+class TestGradients:
+    """Finite-difference validation of every layer's backward pass."""
+
+    def test_conv2d(self, rng):
+        check_module_gradients(
+            Conv2d(3, 4, 3, padding=1, seed=0), rng.standard_normal((2, 3, 5, 5))
+        )
+
+    def test_conv2d_strided_no_bias(self, rng):
+        check_module_gradients(
+            Conv2d(2, 3, 3, stride=2, padding=1, bias=False, seed=0),
+            rng.standard_normal((2, 2, 6, 6)),
+        )
+
+    def test_tucker_conv(self, rng):
+        check_module_gradients(
+            TuckerConv2d(4, 6, 3, rank_in=2, rank_out=3, padding=1, seed=0),
+            rng.standard_normal((2, 4, 5, 5)),
+        )
+
+    def test_tucker_conv_strided(self, rng):
+        check_module_gradients(
+            TuckerConv2d(3, 4, 3, rank_in=2, rank_out=2, stride=2, padding=1,
+                         seed=0),
+            rng.standard_normal((1, 3, 6, 6)),
+        )
+
+    def test_linear(self, rng):
+        check_module_gradients(Linear(6, 4, seed=0), rng.standard_normal((3, 6)))
+
+    def test_relu(self, rng):
+        check_module_gradients(ReLU(), rng.standard_normal((2, 3, 4, 4)) + 0.05)
+
+    def test_batchnorm(self, rng):
+        check_module_gradients(
+            BatchNorm2d(3), rng.standard_normal((4, 3, 5, 5)), atol=1e-4, rtol=1e-3
+        )
+
+    def test_maxpool(self, rng):
+        check_module_gradients(MaxPool2d(2, 2), rng.standard_normal((2, 2, 6, 6)))
+
+    def test_avgpool(self, rng):
+        check_module_gradients(AvgPool2d(2, 2), rng.standard_normal((2, 2, 6, 6)))
+
+    def test_global_avgpool(self, rng):
+        check_module_gradients(GlobalAvgPool2d(), rng.standard_normal((2, 3, 4, 4)))
+
+    def test_flatten(self, rng):
+        check_module_gradients(Flatten(), rng.standard_normal((2, 3, 2, 2)))
+
+    def test_sequential_chain(self, rng):
+        model = Sequential(
+            Conv2d(2, 3, 3, padding=1, seed=0), ReLU(),
+            Conv2d(3, 2, 3, padding=1, seed=1),
+        )
+        check_module_gradients(model, rng.standard_normal((1, 2, 5, 5)))
+
+
+class TestConv2d:
+    def test_output_shape_helper(self):
+        conv = Conv2d(3, 8, 3, stride=2, padding=1)
+        assert conv.output_shape(8, 8) == (4, 4)
+
+    def test_flops_formula(self):
+        conv = Conv2d(3, 8, 3, padding=1)
+        assert conv.flops(4, 4) == 2 * 4 * 4 * 8 * 3 * 9
+
+    def test_bias_applied(self, rng):
+        conv = Conv2d(2, 3, 1, bias=True, seed=0)
+        conv.weight.data[...] = 0.0
+        conv.bias.data[...] = [1.0, 2.0, 3.0]
+        y = conv.forward(rng.standard_normal((1, 2, 2, 2)))
+        np.testing.assert_allclose(y[0, :, 0, 0], [1, 2, 3])
+
+    def test_backward_before_forward_raises(self, rng):
+        conv = Conv2d(2, 3, 3)
+        with pytest.raises(RuntimeError):
+            conv.backward(rng.standard_normal((1, 3, 2, 2)))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            Conv2d(0, 3, 3)
+        with pytest.raises(ValueError):
+            Conv2d(3, 3, 3, padding=-1)
+
+
+class TestTuckerConv2d:
+    def test_equivalence_at_full_rank(self, rng):
+        conv = Conv2d(5, 7, 3, padding=1, seed=0)
+        tucker = TuckerConv2d.from_conv(conv, rank_out=7, rank_in=5)
+        x = rng.standard_normal((2, 5, 6, 6))
+        np.testing.assert_allclose(
+            tucker.forward(x), conv.forward(x), atol=1e-10
+        )
+
+    def test_equivalence_reconstructed_kernel(self, rng):
+        tucker = TuckerConv2d(4, 6, 3, rank_in=2, rank_out=3, padding=1,
+                              bias=False, seed=0)
+        x = rng.standard_normal((1, 4, 5, 5))
+        dense = Conv2d(4, 6, 3, padding=1, bias=False, seed=0)
+        dense.weight.data[...] = tucker.to_conv_weight()
+        np.testing.assert_allclose(
+            tucker.forward(x), dense.forward(x), atol=1e-10
+        )
+
+    def test_low_rank_approximates_original(self, rng):
+        conv = Conv2d(8, 8, 3, padding=1, seed=0)
+        # Make the kernel genuinely low rank.
+        from repro.tensor.tucker import tucker2_project
+        conv.weight.data[...] = tucker2_project(conv.weight.data, 3, 3)
+        tucker = TuckerConv2d.from_conv(conv, rank_out=3, rank_in=3)
+        x = rng.standard_normal((1, 8, 6, 6))
+        np.testing.assert_allclose(tucker.forward(x), conv.forward(x), atol=1e-8)
+
+    def test_flops_less_than_dense(self):
+        dense = Conv2d(32, 32, 3, padding=1)
+        tucker = TuckerConv2d(32, 32, 3, rank_in=8, rank_out=8, padding=1)
+        assert tucker.flops(16, 16) < dense.flops(16, 16)
+
+    def test_param_count(self):
+        t = TuckerConv2d(16, 24, 3, rank_in=4, rank_out=6)
+        assert t.n_weight_params() == 4 * 16 + 6 * 4 * 9 + 24 * 6
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            TuckerConv2d(4, 4, 3, rank_in=5, rank_out=2)
+        with pytest.raises(ValueError):
+            TuckerConv2d(4, 4, 3, rank_in=2, rank_out=5)
+
+    def test_bias_transfer(self, rng):
+        conv = Conv2d(4, 5, 3, padding=1, bias=True, seed=0)
+        conv.bias.data[...] = rng.standard_normal(5)
+        tucker = TuckerConv2d.from_conv(conv, rank_out=5, rank_in=4)
+        np.testing.assert_array_equal(tucker.bias.data, conv.bias.data)
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self, rng):
+        bn = BatchNorm2d(3)
+        x = 5.0 + 2.0 * rng.standard_normal((8, 3, 6, 6))
+        y = bn.forward(x)
+        assert abs(float(y.mean())) < 1e-8
+        assert float(y.var()) == pytest.approx(1.0, abs=0.05)
+
+    def test_running_stats_converge(self, rng):
+        bn = BatchNorm2d(2, momentum=0.5)
+        for _ in range(30):
+            bn.forward(3.0 + rng.standard_normal((16, 2, 4, 4)))
+        np.testing.assert_allclose(bn.running_mean, [3.0, 3.0], atol=0.2)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2)
+        bn.forward(rng.standard_normal((8, 2, 4, 4)))
+        bn.eval()
+        x = rng.standard_normal((2, 2, 4, 4))
+        y1 = bn.forward(x)
+        y2 = bn.forward(x)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_eval_backward_raises(self, rng):
+        bn = BatchNorm2d(2)
+        bn.eval()
+        bn.forward(rng.standard_normal((2, 2, 3, 3)))
+        with pytest.raises(RuntimeError):
+            bn.backward(rng.standard_normal((2, 2, 3, 3)))
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm2d(3).forward(rng.standard_normal((2, 4, 3, 3)))
+
+
+class TestDropout:
+    def test_eval_is_identity(self, rng):
+        d = Dropout(0.5, seed=0)
+        d.eval()
+        x = rng.standard_normal((4, 4))
+        np.testing.assert_array_equal(d.forward(x), x)
+
+    def test_training_scales(self, rng):
+        d = Dropout(0.5, seed=0)
+        x = np.ones((2000,))
+        y = d.forward(x)
+        kept = y[y > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert 0.4 < (y > 0).mean() < 0.6
+
+    def test_zero_p_identity(self, rng):
+        d = Dropout(0.0)
+        x = rng.standard_normal((3, 3))
+        np.testing.assert_array_equal(d.forward(x), x)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        lin = Linear(3, 2)
+        names = [n for n, _ in lin.named_parameters()]
+        assert names == ["weight", "bias"]
+
+    def test_nested_names(self):
+        model = Sequential(Linear(3, 4), ReLU(), Linear(4, 2))
+        names = [n for n, _ in model.named_parameters()]
+        assert "layer0.weight" in names and "layer2.bias" in names
+
+    def test_n_params(self):
+        assert Linear(3, 2).n_params() == 3 * 2 + 2
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2), Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self, rng):
+        lin = Linear(3, 2)
+        lin.forward(rng.standard_normal((2, 3)))
+        lin.backward(rng.standard_normal((2, 2)))
+        assert np.any(lin.weight.grad != 0)
+        lin.zero_grad()
+        assert np.all(lin.weight.grad == 0)
+
+    def test_state_dict_roundtrip(self, rng):
+        m1 = Sequential(Conv2d(2, 3, 3, seed=0), BatchNorm2d(3))
+        m1.forward(rng.standard_normal((4, 2, 5, 5)))  # move running stats
+        state = m1.state_dict()
+        m2 = Sequential(Conv2d(2, 3, 3, seed=9), BatchNorm2d(3))
+        m2.load_state_dict(state)
+        x = rng.standard_normal((1, 2, 5, 5))
+        m1.eval(); m2.eval()
+        np.testing.assert_allclose(m1.forward(x), m2.forward(x), atol=1e-12)
+
+    def test_state_dict_unknown_key(self):
+        with pytest.raises(KeyError):
+            Linear(2, 2).load_state_dict({"nope": np.zeros(2)})
+
+    def test_state_dict_shape_mismatch(self):
+        lin = Linear(2, 2)
+        with pytest.raises(ValueError):
+            lin.load_state_dict({"weight": np.zeros((3, 3)),
+                                 "bias": np.zeros(2)})
+
+    def test_sequential_replace(self, rng):
+        model = Sequential(Linear(3, 3), ReLU())
+        model.replace(0, Linear(3, 3, seed=5))
+        assert isinstance(model[0], Linear)
+
+    def test_identity(self, rng):
+        x = rng.standard_normal((2, 2))
+        ident = Identity()
+        np.testing.assert_array_equal(ident.forward(x), x)
+        np.testing.assert_array_equal(ident.backward(x), x)
+
+    def test_requires_grad_false_skips_accumulation(self, rng):
+        p = Parameter(np.zeros((2, 2)), requires_grad=False)
+        p.accumulate(np.ones((2, 2)))
+        assert np.all(p.grad == 0)

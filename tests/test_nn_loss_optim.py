@@ -1,0 +1,212 @@
+"""Tests for losses, optimizers, and LR schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.loss import CrossEntropyLoss, MSELoss, accuracy, topk_accuracy
+from repro.nn.module import Parameter
+from repro.nn.optim import (
+    SGD,
+    Adam,
+    CosineAnnealingLR,
+    MultiStepLR,
+    StepLR,
+)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_log_k(self):
+        loss = CrossEntropyLoss()
+        logits = np.zeros((4, 10))
+        labels = np.arange(4)
+        assert loss(logits, labels) == pytest.approx(np.log(10))
+
+    def test_perfect_prediction_near_zero(self):
+        loss = CrossEntropyLoss()
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = logits[1, 2] = 100.0
+        assert loss(logits, np.array([1, 2])) < 1e-6
+
+    def test_gradient_matches_numeric(self, rng):
+        loss = CrossEntropyLoss()
+        logits = rng.standard_normal((3, 5))
+        labels = np.array([0, 2, 4])
+        loss(logits, labels)
+        grad = loss.backward()
+        eps = 1e-6
+        for idx in [(0, 0), (1, 2), (2, 4)]:
+            lp = logits.copy(); lp[idx] += eps
+            lm = logits.copy(); lm[idx] -= eps
+            num = (CrossEntropyLoss()(lp, labels) - CrossEntropyLoss()(lm, labels)) / (2 * eps)
+            assert grad[idx] == pytest.approx(num, abs=1e-6)
+
+    def test_gradient_rows_sum_zero(self, rng):
+        loss = CrossEntropyLoss()
+        logits = rng.standard_normal((4, 6))
+        loss(logits, np.array([0, 1, 2, 3]))
+        np.testing.assert_allclose(loss.backward().sum(axis=1), 0.0, atol=1e-12)
+
+    def test_label_smoothing_raises_loss_floor(self, rng):
+        logits = np.full((1, 4), -100.0); logits[0, 0] = 100.0
+        labels = np.array([0])
+        plain = CrossEntropyLoss()(logits, labels)
+        smoothed = CrossEntropyLoss(label_smoothing=0.2)(logits, labels)
+        assert smoothed > plain
+
+    def test_label_range_validation(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(np.zeros((2, 3)), np.array([0, 3]))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(np.zeros((2, 3)), np.array([0]))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            CrossEntropyLoss().backward()
+
+
+class TestMSE:
+    def test_value(self):
+        loss = MSELoss()
+        assert loss(np.array([1.0, 3.0]), np.array([0.0, 1.0])) == pytest.approx(2.5)
+
+    def test_gradient(self, rng):
+        loss = MSELoss()
+        pred = rng.standard_normal((3, 2))
+        target = rng.standard_normal((3, 2))
+        loss(pred, target)
+        np.testing.assert_allclose(
+            loss.backward(), 2 * (pred - target) / pred.size, atol=1e-12
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros(3), np.zeros(4))
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0], [5.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_topk(self):
+        logits = np.array([[3.0, 2.0, 1.0, 0.0]])
+        assert topk_accuracy(logits, np.array([1]), k=2) == 1.0
+        assert topk_accuracy(logits, np.array([3]), k=2) == 0.0
+
+
+def quadratic_params(rng, n=4):
+    """Parameters minimizing ||x - target||^2."""
+    p = Parameter(rng.standard_normal(n))
+    target = rng.standard_normal(n)
+    return p, target
+
+
+def quad_step(p, target):
+    p.zero_grad()
+    p.grad[...] = 2 * (p.data - target)
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self, rng):
+        p, target = quadratic_params(rng)
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            quad_step(p, target)
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-6)
+
+    def test_momentum_faster_than_plain(self, rng):
+        p1, target = quadratic_params(rng)
+        p2 = Parameter(p1.data.copy())
+        plain = SGD([p1], lr=0.01)
+        mom = SGD([p2], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            quad_step(p1, target); plain.step()
+            quad_step(p2, target); mom.step()
+        assert np.linalg.norm(p2.data - target) < np.linalg.norm(p1.data - target)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.ones(3))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        p.zero_grad()
+        opt.step()
+        assert np.all(p.data < 1.0)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self, rng):
+        p, target = quadratic_params(rng)
+        opt = Adam([p], lr=0.05)
+        for _ in range(500):
+            quad_step(p, target)
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-4)
+
+    def test_bias_correction_first_step(self):
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=0.1)
+        p.grad[...] = 1.0
+        opt.step()
+        # First Adam step magnitude ~ lr regardless of beta.
+        assert abs(p.data[0] + 0.1) < 1e-6
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.9))
+
+
+class TestSchedulers:
+    def _opt(self):
+        return SGD([Parameter(np.zeros(1))], lr=1.0)
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_multistep_lr(self):
+        opt = self._opt()
+        sched = MultiStepLR(opt, milestones=[2, 4], gamma=0.5)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.5, 0.5, 0.25, 0.25])
+
+    def test_cosine_endpoints(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_monotone_decrease(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=8)
+        prev = opt.lr
+        for _ in range(8):
+            sched.step()
+            assert opt.lr <= prev + 1e-12
+            prev = opt.lr
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(self._opt(), step_size=0)

@@ -1,0 +1,123 @@
+"""Tests for shared utilities (RNG, tables, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngMixin, new_rng, spawn_rngs
+from repro.utils.tables import Table, format_float, format_speedup
+from repro.utils.validation import (
+    check_dim,
+    check_in,
+    check_positive,
+    check_positive_int,
+    check_shape,
+)
+
+
+class TestRng:
+    def test_new_rng_from_int(self):
+        a = new_rng(7).random(4)
+        b = new_rng(7).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_new_rng_passthrough(self):
+        g = np.random.default_rng(0)
+        assert new_rng(g) is g
+
+    def test_spawn_independent(self):
+        r1, r2 = spawn_rngs(0, 2)
+        assert not np.allclose(r1.random(8), r2.random(8))
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in spawn_rngs(5, 3)]
+        b = [g.random() for g in spawn_rngs(5, 3)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        rngs = spawn_rngs(np.random.default_rng(3), 2)
+        assert len(rngs) == 2
+
+    def test_spawn_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_mixin_lazy_and_reseed(self):
+        class Thing(RngMixin):
+            pass
+
+        t = Thing(seed=1)
+        first = t.rng.random()
+        t.reseed(1)
+        assert t.rng.random() == first
+
+
+class TestTables:
+    def test_render_alignment(self):
+        t = Table(["a", "bb"], title="T")
+        t.add_row(["x", 1.5])
+        out = t.render()
+        assert out.startswith("T\n")
+        assert "1.5000" in out
+
+    def test_row_length_check(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_to_dicts(self):
+        t = Table(["x", "y"])
+        t.add_row([1, 2])
+        assert t.to_dicts() == [{"x": "1", "y": "2"}]
+
+    def test_len(self):
+        t = Table(["x"])
+        t.add_row([1])
+        t.add_row([2])
+        assert len(t) == 2
+
+    def test_format_float_special(self):
+        assert format_float(float("nan")) == "nan"
+        assert "e" in format_float(1e9)
+        assert format_float(0.5) == "0.5000"
+
+    def test_format_speedup(self):
+        assert format_speedup(2.214) == "2.21x"
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 2.0) == 2.0
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+
+    def test_check_positive_int(self):
+        assert check_positive_int("n", 3) == 3
+        with pytest.raises(TypeError):
+            check_positive_int("n", 3.0)
+        with pytest.raises(TypeError):
+            check_positive_int("n", True)
+        with pytest.raises(ValueError):
+            check_positive_int("n", 0)
+
+    def test_check_in(self):
+        assert check_in("m", "a", ["a", "b"]) == "a"
+        with pytest.raises(ValueError):
+            check_in("m", "c", ["a", "b"])
+
+    def test_check_dim(self, rng):
+        arr = rng.standard_normal((2, 3))
+        assert check_dim("a", arr, 2) is not None
+        with pytest.raises(ValueError):
+            check_dim("a", arr, 3)
+
+    def test_check_shape_wildcard(self, rng):
+        arr = rng.standard_normal((2, 3))
+        check_shape("a", arr, (-1, 3))
+        with pytest.raises(ValueError):
+            check_shape("a", arr, (2, 4))
+        with pytest.raises(ValueError):
+            check_shape("a", arr, (2, 3, 1))
