@@ -10,6 +10,7 @@ Subpackages
 - :mod:`repro.gpusim`      — simulated A100 / RTX 2080Ti devices
 - :mod:`repro.kernels`     — TDC / TVM / cuDNN-style conv kernels
 - :mod:`repro.perfmodel`   — analytical latency model, tiling selection
+- :mod:`repro.planning`    — plan caches, persistence, parallel warm-up
 - :mod:`repro.codesign`    — rank selection (Alg. 1) and TDC pipeline
 - :mod:`repro.compression` — ADMM training, baselines, comparators
 - :mod:`repro.inference`   — execution plans + end-to-end engine

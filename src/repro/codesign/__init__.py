@@ -35,6 +35,8 @@ from repro.codesign.table import (
     build_performance_table,
     clear_table_cache,
     rank_candidates,
+    table_cache,
+    table_key,
 )
 
 __all__ = [
@@ -64,4 +66,6 @@ __all__ = [
     "build_performance_table",
     "clear_table_cache",
     "rank_candidates",
+    "table_cache",
+    "table_key",
 ]

@@ -132,6 +132,12 @@ def select_ranks_concurrent(
         )
         for b in group.branches
     ]
+    for b, t in zip(group.branches, tables):
+        if not t.entries:
+            raise ValueError(
+                f"branch {b.name} of group {group.name} is not "
+                "decomposable (an extent-1 mode has no rank candidates)"
+            )
     # Sorted rank grids per branch.
     grids: List[List[Tuple[int, int]]] = []
     for t in tables:

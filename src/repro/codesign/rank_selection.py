@@ -54,7 +54,8 @@ class RankDecision:
     original_latency: float      # t2
     dense_flops: int
     compressed_flops: int        # = dense_flops when skipped
-    reason: str                  # "selected" | "theta_skip" | "no_candidate"
+    # "selected" | "theta_skip" | "no_candidate" | "not_decomposable"
+    reason: str
 
     @property
     def decomposed(self) -> bool:
@@ -123,10 +124,14 @@ def select_ranks(
     the remaining layers proportionally to their dense FLOPs — but
     never beyond ``max_layer_reduction`` of any single layer, so that
     carried budget cannot force the "over rank reduction" the paper's
-    Sec. 6 warns destroys accuracy.  If the inflated target is
-    unreachable the layer falls back to its own base share of the
-    budget (the global reduction may then land short of B, which the
-    paper's "⪅ B" accepts).
+    Sec. 6 warns destroys accuracy.  ``max_layer_reduction`` must lie
+    in (0, 1) — anything else raises — and is floored at ``budget``
+    (a per-layer cap tighter than the global target is unsatisfiable).
+    If the inflated target is unreachable the layer falls back to its
+    own base share of the budget (the global reduction may then land
+    short of B, which the paper's "⪅ B" accepts).  Layers whose C or N
+    extent is 1 have no rank strictly below the original extent and
+    are left dense (``reason="not_decomposable"``).
     """
     if not layers:
         raise ValueError("select_ranks needs at least one layer")
@@ -134,8 +139,13 @@ def select_ranks(
         raise ValueError(f"budget must be in (0, 1), got {budget}")
     if not 0.0 <= theta < 1.0:
         raise ValueError(f"theta must be in [0, 1), got {theta}")
-    if not budget <= max_layer_reduction < 1.0:
-        max_layer_reduction = max(budget, min(max_layer_reduction, 0.99))
+    if not 0.0 < max_layer_reduction < 1.0:
+        raise ValueError(
+            f"max_layer_reduction must be in (0, 1), got {max_layer_reduction}"
+        )
+    # Documented budget-floor clamp: the per-layer cap can never be
+    # tighter than the global budget itself.
+    max_layer_reduction = max(max_layer_reduction, budget)
 
     flops_list = [
         2 * l.h * l.w * l.c * l.n * l.r * l.s for l in layers
@@ -159,6 +169,21 @@ def select_ranks(
             layer.c, layer.n, layer.h, layer.w, device,
             r=layer.r, s=layer.s, rank_step=rank_step, method=method,
         )
+        if not table.entries:
+            # An extent-1 mode has no rank below the original extent:
+            # "compressing" would add two 1x1 launches for zero
+            # reduction.  Leave dense, carry the planned reduction on.
+            t2 = table.original_latency
+            decisions.append(
+                RankDecision(
+                    layer=layer, d1=None, d2=None,
+                    tucker_latency=t2, original_latency=t2,
+                    dense_flops=dense, compressed_flops=dense,
+                    reason="not_decomposable",
+                )
+            )
+            extra_budget += target_reduction
+            continue
         entry = table.best_under_budget(max_tucker)
         if entry is None:
             # The inflated target is unreachable: retry with the

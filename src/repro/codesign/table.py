@@ -9,13 +9,17 @@ conv, each including kernel-launch overhead.  The original layer's
 latency under cuDNN IMPLICIT_GEMM (the kernel an undecomposed layer
 would use at inference) is kept for the θ-threshold rule.
 
-Tables are memoized per (shape, device, method, step) since the five
-CNNs repeat many layer shapes.
+Tables are memoized in the planning-cache subsystem
+(:mod:`repro.planning.cache`) keyed on the full shape, the device's
+content fingerprint, the rank step, and the selection method, since
+the five CNNs repeat many layer shapes.  Construction can fan the
+``D1`` rank candidates out over a process pool (``workers=``), and
+warm tables optionally persist to disk between runs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.codesign.flops import conv_flops, tucker_flops
@@ -25,6 +29,8 @@ from repro.kernels.cudnn import CuDNNGemmKernel
 from repro.kernels.pointwise import pointwise_latency
 from repro.kernels.tdc_direct import TDCDirectKernel, Tiling
 from repro.perfmodel.tiling import select_tiling
+from repro.planning.cache import PlanCache
+from repro.planning.pool import map_maybe_parallel
 from repro.utils.validation import check_positive_int
 
 
@@ -47,7 +53,12 @@ class TableEntry:
 
 @dataclass
 class PerformanceTable:
-    """Latency table for all rank candidates of one layer shape."""
+    """Latency table for all rank candidates of one layer shape.
+
+    ``entries`` is empty when the layer is not decomposable (an
+    extent-1 mode has no rank strictly below the original extent);
+    Algorithm 1 leaves such layers dense.
+    """
 
     c: int
     n: int
@@ -59,12 +70,29 @@ class PerformanceTable:
     original_latency: float          # dense layer via cuDNN (for θ rule)
     original_flops: int
     entries: List[TableEntry]
+    rank_step: int = 32
+    method: str = "model"
+    # Content fingerprint of the device this table was built for;
+    # seeding/persistence compare it, never the display name.
+    device_fingerprint: str = ""
+    # Lazily built (d1, d2) -> entry index; rebuilt if entries change.
+    _index: Optional[Dict[Tuple[int, int], TableEntry]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def lookup(self, d1: int, d2: int) -> TableEntry:
-        for e in self.entries:
-            if e.d1 == d1 and e.d2 == d2:
-                return e
-        raise KeyError(f"no entry for ranks ({d1}, {d2})")
+        index = self._index
+        if index is None or len(index) != len(self.entries):
+            index = {(e.d1, e.d2): e for e in self.entries}
+            self._index = index
+        try:
+            return index[(d1, d2)]
+        except KeyError:
+            raise KeyError(f"no entry for ranks ({d1}, {d2})") from None
+
+    @property
+    def decomposable(self) -> bool:
+        return bool(self.entries)
 
     def candidates_within(self, max_flops: float) -> List[TableEntry]:
         """Entries meeting a FLOPs ceiling (the budget constraint)."""
@@ -103,16 +131,119 @@ class PerformanceTable:
 
 def rank_candidates(extent: int, step: int) -> List[int]:
     """Rank grid for one mode: multiples of ``step`` strictly below the
-    original extent (reducing by ``step`` at a time, Sec. 6); always at
-    least one candidate (``min(step, extent//2)`` floor for slim models)."""
+    original extent (reducing by ``step`` at a time, Sec. 6), with an
+    ``extent // 2`` floor candidate for slim models.
+
+    An extent of 1 yields an *empty* grid: the only "rank" would be 1,
+    i.e. the original extent — zero reduction plus two extra 1x1
+    launches — so such a mode is not decomposable at all.
+    """
     step = check_positive_int("step", step)
+    extent = check_positive_int("extent", extent)
     cands = [d for d in range(step, extent, step)]
-    if not cands:
+    if not cands and extent > 1:
         cands = [max(1, extent // 2)]
     return cands
 
 
-_TABLE_CACHE: Dict[Tuple, PerformanceTable] = {}
+def _encode_table(table: PerformanceTable) -> dict:
+    return {
+        "shape": [table.c, table.n, table.h, table.w, table.r, table.s],
+        "device_name": table.device_name,
+        "original_latency": table.original_latency,
+        "original_flops": table.original_flops,
+        "rank_step": table.rank_step,
+        "method": table.method,
+        "device_fingerprint": table.device_fingerprint,
+        "entries": [
+            {
+                "d1": e.d1,
+                "d2": e.d2,
+                "pw1_latency": e.pw1_latency,
+                "core_latency": e.core_latency,
+                "pw2_latency": e.pw2_latency,
+                "tiling": [e.tiling.th, e.tiling.tw, e.tiling.tc],
+                "flops": e.flops,
+            }
+            for e in table.entries
+        ],
+    }
+
+
+def _decode_table(doc: dict) -> PerformanceTable:
+    c, n, h, w, r, s = (int(x) for x in doc["shape"])
+    entries = [
+        TableEntry(
+            d1=int(e["d1"]),
+            d2=int(e["d2"]),
+            pw1_latency=float(e["pw1_latency"]),
+            core_latency=float(e["core_latency"]),
+            pw2_latency=float(e["pw2_latency"]),
+            tiling=Tiling(*(int(x) for x in e["tiling"])),
+            flops=int(e["flops"]),
+        )
+        for e in doc["entries"]
+    ]
+    return PerformanceTable(
+        c=c, n=n, h=h, w=w, r=r, s=s,
+        device_name=str(doc["device_name"]),
+        original_latency=float(doc["original_latency"]),
+        original_flops=int(doc["original_flops"]),
+        entries=entries,
+        rank_step=int(doc["rank_step"]),
+        method=str(doc["method"]),
+        device_fingerprint=str(doc.get("device_fingerprint", "")),
+    )
+
+
+_TABLE_CACHE = PlanCache(
+    "table",
+    maxsize=1024,
+    payload_version=1,
+    encode=_encode_table,
+    decode=_decode_table,
+)
+
+
+def table_cache() -> PlanCache:
+    """The shared performance-table cache."""
+    return _TABLE_CACHE
+
+
+def table_key(
+    c: int, n: int, h: int, w: int, r: int, s: int,
+    device: DeviceSpec, rank_step: int, method: str,
+) -> tuple:
+    """Cache key for one table: full shape identity plus the device's
+    content fingerprint (never its display name)."""
+    return (c, n, h, w, r, s, device.fingerprint(), rank_step, method)
+
+
+def _compute_entry(
+    c: int, n: int, h: int, w: int, r: int, s: int,
+    device: DeviceSpec, method: str, d1: int, d2: int,
+) -> TableEntry:
+    core_shape = ConvShape(c=d1, n=d2, h=h, w=w, r=r, s=s)
+    choice = select_tiling(core_shape, device, method=method)
+    return TableEntry(
+        d1=d1,
+        d2=d2,
+        pw1_latency=pointwise_latency(c, d1, h, w, device),
+        core_latency=choice.simulated_latency,
+        pw2_latency=pointwise_latency(d2, n, h, w, device),
+        tiling=choice.tiling,
+        flops=tucker_flops(c, n, h, w, d1, d2, r, s),
+    )
+
+
+def _entries_for_d1(args: tuple) -> List[TableEntry]:
+    """One D1 row of the table; module-level so a process pool can
+    pickle it (the parallel construction path)."""
+    c, n, h, w, r, s, device, method, d1, d2_list = args
+    return [
+        _compute_entry(c, n, h, w, r, s, device, method, d1, d2)
+        for d2 in d2_list
+    ]
 
 
 def build_performance_table(
@@ -126,31 +257,32 @@ def build_performance_table(
     rank_step: int = 32,
     method: str = "model",
     use_cache: bool = True,
+    workers: Optional[int] = None,
 ) -> PerformanceTable:
-    """Generate (or fetch memoized) the table T for one layer shape."""
-    key = (c, n, h, w, r, s, device.name, rank_step, method)
-    if use_cache and key in _TABLE_CACHE:
-        return _TABLE_CACHE[key]
+    """Generate (or fetch memoized) the table T for one layer shape.
+
+    With ``workers > 1`` the D1 rank rows are built concurrently in a
+    process pool — worthwhile for oracle sweeps on multi-core hosts;
+    the default stays serial.
+    """
+    key = table_key(c, n, h, w, r, s, device, rank_step, method)
+    if use_cache:
+        cached = _TABLE_CACHE.get(key)
+        if cached is not None:
+            return cached
 
     dense_shape = ConvShape(c=c, n=n, h=h, w=w, r=r, s=s)
     original_latency = CuDNNGemmKernel().latency(dense_shape, device)
 
+    d1_list = rank_candidates(c, rank_step)
+    d2_list = rank_candidates(n, rank_step)
     entries: List[TableEntry] = []
-    for d1 in rank_candidates(c, rank_step):
-        for d2 in rank_candidates(n, rank_step):
-            core_shape = ConvShape(c=d1, n=d2, h=h, w=w, r=r, s=s)
-            choice = select_tiling(core_shape, device, method=method)
-            entries.append(
-                TableEntry(
-                    d1=d1,
-                    d2=d2,
-                    pw1_latency=pointwise_latency(c, d1, h, w, device),
-                    core_latency=choice.simulated_latency,
-                    pw2_latency=pointwise_latency(d2, n, h, w, device),
-                    tiling=choice.tiling,
-                    flops=tucker_flops(c, n, h, w, d1, d2, r, s),
-                )
-            )
+    if d1_list and d2_list:
+        jobs = [
+            (c, n, h, w, r, s, device, method, d1, d2_list) for d1 in d1_list
+        ]
+        for row in map_maybe_parallel(_entries_for_d1, jobs, workers):
+            entries.extend(row)
 
     table = PerformanceTable(
         c=c, n=n, h=h, w=w, r=r, s=s,
@@ -158,12 +290,15 @@ def build_performance_table(
         original_latency=original_latency,
         original_flops=conv_flops(c, n, h, w, r, s),
         entries=entries,
+        rank_step=rank_step,
+        method=method,
+        device_fingerprint=device.fingerprint(),
     )
     if use_cache:
-        _TABLE_CACHE[key] = table
+        return _TABLE_CACHE.put(key, table)
     return table
 
 
 def clear_table_cache() -> None:
-    """Drop all memoized tables (used by tests)."""
+    """Drop all memoized tables (used by tests/benchmarks)."""
     _TABLE_CACHE.clear()

@@ -49,7 +49,7 @@ class LayerwiseRow:
 def measure_shape(shape: ConvShape, device: DeviceSpec) -> LayerwiseRow:
     """Latencies of all six schemes for one shape on one device."""
     return LayerwiseRow(
-        shape=shape.as_tuple(),
+        shape=(shape.c, shape.n, shape.h, shape.w),
         cudnn_fft=CuDNNFFTKernel().latency(shape, device),
         cudnn_winograd=CuDNNWinogradKernel().latency(shape, device),
         cudnn_gemm=CuDNNGemmKernel().latency(shape, device),

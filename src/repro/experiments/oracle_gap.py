@@ -46,7 +46,7 @@ def run_rows(
         shape = ConvShape(c=c, n=n, h=h, w=w)
         rows.append(
             GapRow(
-                shape=shape.as_tuple(),
+                shape=(shape.c, shape.n, shape.h, shape.w),
                 oracle_latency=select_tiling(shape, device, "oracle").simulated_latency,
                 model_latency=select_tiling(shape, device, "model").simulated_latency,
                 tvm_latency=TVMDirectKernel.tuned(shape, device).latency(shape, device),

@@ -20,7 +20,8 @@ substitution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
@@ -68,6 +69,24 @@ class DeviceSpec:
     def lane_rate(self) -> float:
         """Per-lane FLOP/s (FMA)."""
         return 2.0 * self.clock_ghz * 1e9
+
+    def fingerprint(self) -> str:
+        """Content hash over every hardware parameter.
+
+        Planner cache keys must distinguish two specs that share a
+        ``name`` but differ in any parameter (a device sweep, a
+        user-tweaked spec), so keys derive from this fingerprint and
+        never from the display name alone.  The spec is frozen, so the
+        hash is computed once and memoized.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            payload = ";".join(
+                f"{f.name}={getattr(self, f.name)!r}" for f in fields(self)
+            )
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     def validate(self) -> None:
         if self.n_sms <= 0 or self.fp32_lanes_per_sm <= 0:

@@ -1,6 +1,6 @@
 """Inference execution plans and end-to-end latency estimation."""
 
-from repro.inference.engine import E2EResult, estimate_e2e
+from repro.inference.engine import E2EResult, estimate_e2e, estimate_e2e_many
 from repro.inference.plan import (
     CORE_BACKENDS,
     ExecutionPlan,
@@ -12,6 +12,7 @@ from repro.inference.plan import (
 __all__ = [
     "E2EResult",
     "estimate_e2e",
+    "estimate_e2e_many",
     "CORE_BACKENDS",
     "ExecutionPlan",
     "PlannedKernel",

@@ -17,12 +17,13 @@ executed by different kernels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.codesign.pipeline import layer_shapes_from_spec
 from repro.codesign.rank_selection import RankPlan, select_ranks
 from repro.gpusim.device import DeviceSpec
 from repro.inference.plan import ExecutionPlan, plan_dense_model, plan_tucker_model
+from repro.kernels.base import ConvShape
 from repro.models.arch_specs import ModelSpec
 
 
@@ -108,3 +109,58 @@ def estimate_e2e(
         tucker_tdc_model=variants["tdc-model"],
         rank_plan=rank_plan,
     )
+
+
+def estimate_e2e_many(
+    specs: Sequence[ModelSpec],
+    devices: Sequence[DeviceSpec],
+    budgets: Sequence[float] = (0.6,),
+    theta: float = 0.15,
+    rank_step: int = 32,
+    workers: Optional[int] = None,
+) -> List[E2EResult]:
+    """Batched end-to-end estimation over ``specs x devices x budgets``.
+
+    One shared warm-up (via :func:`repro.planning.plan_many`) builds
+    every performance table once — optionally across ``workers``
+    processes — and the *oracle* tilings for every planned core shape
+    are pre-selected the same way (the tdc-oracle backend's exhaustive
+    sweeps dominate the remaining cold cost).  Results are ordered
+    spec-major, then device, then budget.
+    """
+    from repro.planning.warmup import plan_key, plan_many, warm_tilings
+
+    specs = list(specs)
+    devices = list(devices)
+    budgets = list(budgets)
+    plans = plan_many(
+        specs, devices, budgets,
+        theta=theta, rank_step=rank_step, workers=workers,
+    )
+    oracle_pairs = []
+    for (_, fp, _), plan in plans.items():
+        device = next(d for d in devices if d.fingerprint() == fp)
+        for decision in plan.decisions:
+            if decision.decomposed:
+                layer = decision.layer
+                oracle_pairs.append((
+                    ConvShape(
+                        c=int(decision.d1), n=int(decision.d2),
+                        h=layer.h, w=layer.w, r=layer.r, s=layer.s,
+                    ),
+                    device,
+                ))
+    warm_tilings(oracle_pairs, method="oracle", workers=workers)
+
+    results: List[E2EResult] = []
+    for spec in specs:
+        for device in devices:
+            for budget in budgets:
+                results.append(
+                    estimate_e2e(
+                        spec, device, budget=budget, theta=theta,
+                        rank_step=rank_step,
+                        rank_plan=plans[plan_key(spec, device, budget)],
+                    )
+                )
+    return results

@@ -69,8 +69,10 @@ class ConvShape:
     def output_bytes(self) -> int:
         return self.n * self.h * self.w * FLOAT_BYTES
 
-    def as_tuple(self) -> Tuple[int, int, int, int]:
-        return (self.c, self.n, self.h, self.w)
+    def as_tuple(self) -> Tuple[int, int, int, int, int, int]:
+        """The full problem identity, filter extents included — safe to
+        use directly as (part of) a cache key."""
+        return (self.c, self.n, self.h, self.w, self.r, self.s)
 
     def __str__(self) -> str:
         return f"({self.c},{self.n},{self.h},{self.w})"

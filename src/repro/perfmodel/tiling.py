@@ -25,6 +25,7 @@ from repro.gpusim.device import DeviceSpec
 from repro.kernels.base import ConvShape
 from repro.kernels.tdc_direct import TDCDirectKernel, Tiling, is_feasible
 from repro.perfmodel.analytical import comp_latency, memory_latency
+from repro.planning.cache import PlanCache
 
 # Candidate tile extents.  The paper enumerates every (TH, TW, TC) up
 # to (H, W, C); we enumerate the useful subset (divisor-dense values)
@@ -138,7 +139,45 @@ def select_tiling_model(
     )
 
 
-_SELECT_CACHE: dict = {}
+def _encode_choice(choice: TilingChoice) -> dict:
+    return {
+        "tiling": [choice.tiling.th, choice.tiling.tw, choice.tiling.tc],
+        "simulated_latency": choice.simulated_latency,
+        "comp_latency": choice.comp_latency,
+        "memory_latency": choice.memory_latency,
+        "method": choice.method,
+    }
+
+
+def _decode_choice(doc: dict) -> TilingChoice:
+    th, tw, tc = doc["tiling"]
+    return TilingChoice(
+        tiling=Tiling(int(th), int(tw), int(tc)),
+        simulated_latency=float(doc["simulated_latency"]),
+        comp_latency=float(doc["comp_latency"]),
+        memory_latency=float(doc["memory_latency"]),
+        method=str(doc["method"]),
+    )
+
+
+_SELECT_CACHE = PlanCache(
+    "tiling",
+    maxsize=8192,
+    payload_version=1,
+    encode=_encode_choice,
+    decode=_decode_choice,
+)
+
+
+def tiling_cache() -> PlanCache:
+    """The shared tiling-selection cache."""
+    return _SELECT_CACHE
+
+
+def select_key(shape: ConvShape, device: DeviceSpec, method: str) -> tuple:
+    """Cache key for one selection: full shape identity plus the
+    device's content fingerprint (never its display name)."""
+    return shape.as_tuple() + (device.fingerprint(), method)
 
 
 def select_tiling(
@@ -146,25 +185,32 @@ def select_tiling(
 ) -> TilingChoice:
     """Dispatch on selection method ('model' or 'oracle').
 
-    Results are memoized per (shape, device, method): the five CNNs
-    repeat core shapes heavily and both selectors are deterministic.
+    Results are memoized per (shape, device-fingerprint, method): the
+    five CNNs repeat core shapes heavily and both selectors are
+    deterministic.  Two devices sharing a name but differing in any
+    hardware parameter occupy distinct cache entries.
     """
-    key = (shape.as_tuple(), shape.r, shape.s, device.name, method)
-    cached = _SELECT_CACHE.get(key)
-    if cached is not None:
-        return cached
-    if method == "model":
-        choice = select_tiling_model(shape, device)
-    elif method == "oracle":
-        choice = select_tiling_oracle(shape, device)
-    else:
+    if method not in ("model", "oracle"):
         raise ValueError(f"unknown tiling selection method {method!r}")
-    _SELECT_CACHE[key] = choice
-    return choice
+
+    def build() -> TilingChoice:
+        if method == "model":
+            return select_tiling_model(shape, device)
+        return select_tiling_oracle(shape, device)
+
+    return _SELECT_CACHE.get_or_build(select_key(shape, device, method), build)
+
+
+def seed_tiling_choice(
+    shape: ConvShape, device: DeviceSpec, choice: TilingChoice
+) -> TilingChoice:
+    """Install an externally computed selection (the parallel warm-up
+    path builds choices in worker processes and seeds them here)."""
+    return _SELECT_CACHE.put(select_key(shape, device, choice.method), choice)
 
 
 def clear_tiling_cache() -> None:
-    """Drop memoized tiling selections (used by tests)."""
+    """Drop memoized tiling selections (used by tests/benchmarks)."""
     _SELECT_CACHE.clear()
 
 

@@ -1,0 +1,23 @@
+"""Shared serial-vs-process-pool dispatch for planner fan-out."""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+
+def map_maybe_parallel(
+    fn: Callable[[Any], Any],
+    jobs: Sequence[Any],
+    workers: Optional[int],
+) -> List[Any]:
+    """``[fn(j) for j in jobs]``, fanned over a process pool when
+    ``workers > 1`` and there is more than one job.
+
+    ``fn`` and every job must be picklable (module-level function,
+    dataclass arguments).  Order of results matches ``jobs``.
+    """
+    if workers is not None and workers > 1 and len(jobs) > 1:
+        with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+            return list(pool.map(fn, jobs))
+    return [fn(job) for job in jobs]

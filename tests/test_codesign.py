@@ -76,6 +76,30 @@ class TestPerformanceTable:
         assert rank_candidates(64, 32) == [32]
         assert rank_candidates(16, 32) == [8]  # fallback for slim models
 
+    def test_rank_candidates_extent_one_not_decomposable(self):
+        # Rank 1 == the original extent: zero reduction plus two extra
+        # 1x1 launches.  No candidates at all.
+        assert rank_candidates(1, 32) == []
+        # extent 2 still has a genuine reduction (rank 1 < 2).
+        assert rank_candidates(2, 32) == [1]
+
+    def test_table_empty_for_extent_one_layer(self):
+        table = build_performance_table(1, 64, 14, 14, A100)
+        assert table.entries == []
+        assert not table.decomposable
+        assert table.best_under_budget(float("inf")) is None
+
+    def test_select_ranks_leaves_extent_one_layer_dense(self):
+        layers = [
+            LayerShape("slim", 1, 64, 14, 14),
+            LayerShape("ok", 128, 128, 14, 14),
+        ]
+        plan = select_ranks(layers, A100, budget=0.6)
+        by_name = {d.layer.name: d for d in plan.decisions}
+        assert not by_name["slim"].decomposed
+        assert by_name["slim"].reason == "not_decomposable"
+        assert by_name["slim"].compressed_flops == by_name["slim"].dense_flops
+
     def test_table_entries_cover_grid(self):
         clear_table_cache()
         table = build_performance_table(64, 64, 14, 14, A100, rank_step=32)
@@ -118,6 +142,15 @@ class TestPerformanceTable:
         table = build_performance_table(64, 64, 14, 14, A100)
         with pytest.raises(KeyError):
             table.lookup(1, 1)
+
+    def test_lookup_index_matches_linear_scan(self):
+        table = build_performance_table(256, 256, 14, 14, A100, rank_step=32)
+        for e in table.entries:
+            found = table.lookup(e.d1, e.d2)
+            linear = next(
+                x for x in table.entries if x.d1 == e.d1 and x.d2 == e.d2
+            )
+            assert found is linear
 
 
 def toy_layers():
@@ -168,6 +201,24 @@ class TestRankSelection:
             select_ranks(toy_layers(), A100, budget=0.0)
         with pytest.raises(ValueError):
             select_ranks(toy_layers(), A100, budget=1.0)
+
+    def test_invalid_max_layer_reduction_raises(self):
+        for bad in (0.0, -0.5, 1.0, 1.5):
+            with pytest.raises(ValueError):
+                select_ranks(
+                    toy_layers(), A100, budget=0.6, max_layer_reduction=bad
+                )
+
+    def test_max_layer_reduction_floored_at_budget(self):
+        # A cap below the budget is unsatisfiable per-layer; it is
+        # clamped up to the budget (documented), not an error.
+        capped = select_ranks(
+            toy_layers(), A100, budget=0.6, max_layer_reduction=0.3
+        )
+        floored = select_ranks(
+            toy_layers(), A100, budget=0.6, max_layer_reduction=0.6
+        )
+        assert capped.ranks() == floored.ranks()
 
     def test_empty_layers(self):
         with pytest.raises(ValueError):

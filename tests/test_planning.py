@@ -1,0 +1,445 @@
+"""Tests for the planning-cache subsystem.
+
+Covers the PlanCache primitive (LRU, stats, thread safety, persistence
+with versioned invalidation), the stale-device regression the
+subsystem exists to fix, the parallel warm-up path, and the batched
+plan_many API.
+"""
+
+import json
+import threading
+from dataclasses import replace
+
+import pytest
+
+from repro.codesign.rank_selection import LayerShape, select_ranks
+from repro.codesign.table import (
+    build_performance_table,
+    clear_table_cache,
+    table_cache,
+    table_key,
+)
+from repro.gpusim.device import A100, RTX2080TI
+from repro.inference.engine import estimate_e2e, estimate_e2e_many
+from repro.kernels.base import ConvShape
+from repro.models.arch_specs import get_model_spec
+from repro.perfmodel.tiling import (
+    clear_tiling_cache,
+    select_key,
+    select_tiling,
+    select_tiling_model,
+    select_tiling_oracle,
+    tiling_cache,
+)
+from repro.planning.cache import (
+    SCHEMA_VERSION,
+    PlanCache,
+    all_caches,
+    cache_stats,
+    clear_plan_caches,
+    get_cache,
+    load_plan_caches,
+    save_plan_caches,
+)
+from repro.planning.warmup import (
+    plan_key,
+    plan_many,
+    seed_from_table,
+    warm_tables,
+    warm_tilings,
+)
+
+# A user-tweaked A100: same display name, half the clock, a tenth of
+# the bandwidth.  Every planner result must reflect these parameters.
+TWEAKED_A100 = replace(
+    A100, clock_ghz=A100.clock_ghz / 2, dram_bandwidth=A100.dram_bandwidth / 10
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_tiling_cache()
+    clear_table_cache()
+    yield
+    clear_tiling_cache()
+    clear_table_cache()
+
+
+class TestPlanCache:
+    def test_get_put_roundtrip(self):
+        c = PlanCache("t1", maxsize=4, register=False)
+        assert c.get(("a",)) is None
+        c.put(("a",), 1)
+        assert c.get(("a",)) == 1
+        assert len(c) == 1 and ("a",) in c
+
+    def test_none_values_rejected(self):
+        c = PlanCache("t2", maxsize=4, register=False)
+        with pytest.raises(ValueError):
+            c.put(("a",), None)
+
+    def test_put_if_absent_keeps_first(self):
+        c = PlanCache("t3", maxsize=4, register=False)
+        first = c.put(("k",), ["v1"])
+        second = c.put(("k",), ["v2"])
+        assert second is first
+        assert c.get(("k",)) == ["v1"]
+
+    def test_get_or_build_builds_once(self):
+        c = PlanCache("t4", maxsize=4, register=False)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return "value"
+
+        assert c.get_or_build(("k",), build) == "value"
+        assert c.get_or_build(("k",), build) == "value"
+        assert len(calls) == 1
+
+    def test_lru_eviction_order(self):
+        c = PlanCache("t5", maxsize=2, register=False)
+        c.put(("a",), 1)
+        c.put(("b",), 2)
+        c.get(("a",))          # refresh "a" -> "b" is now the LRU
+        c.put(("c",), 3)
+        assert c.get(("b",)) is None
+        assert c.get(("a",)) == 1 and c.get(("c",)) == 3
+        assert c.stats().evictions == 1
+
+    def test_stats_counters(self):
+        c = PlanCache("t6", maxsize=4, register=False)
+        c.get(("missing",))
+        c.put(("k",), 1)
+        c.get(("k",))
+        st = c.stats()
+        assert (st.hits, st.misses, st.size) == (1, 1, 1)
+        assert st.hit_rate == pytest.approx(0.5)
+        assert st.lookups == 2
+
+    def test_peek_touches_nothing(self):
+        c = PlanCache("t7", maxsize=4, register=False)
+        c.put(("k",), 1)
+        assert c.peek(("k",)) == 1
+        assert c.peek(("nope",)) is None
+        st = c.stats()
+        assert st.hits == 0 and st.misses == 0
+
+    def test_clear_resets(self):
+        c = PlanCache("t8", maxsize=4, register=False)
+        c.put(("k",), 1)
+        c.get(("k",))
+        c.clear()
+        st = c.stats()
+        assert len(c) == 0 and st.hits == 0 and st.misses == 0
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            PlanCache("t9", maxsize=0, register=False)
+
+    def test_registry_lookup(self):
+        assert get_cache("tiling") is tiling_cache()
+        assert get_cache("table") is table_cache()
+        with pytest.raises(KeyError):
+            get_cache("no-such-cache")
+        names = {c.name for c in all_caches()}
+        assert {"tiling", "table"} <= names
+        assert set(cache_stats()) >= {"tiling", "table"}
+
+
+class TestThreadSafety:
+    def test_concurrent_put_get_with_eviction(self):
+        c = PlanCache("t10", maxsize=8, register=False)
+        errors = []
+
+        def hammer(seed):
+            try:
+                for i in range(300):
+                    key = ((seed * 7 + i) % 32,)
+                    c.put(key, key)
+                    got = c.get(key)
+                    assert got is None or got == key
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(c) <= 8
+
+    def test_concurrent_select_tiling_consistent(self):
+        shapes = [ConvShape(32, 32, 14, 14), ConvShape(64, 32, 28, 28)]
+        results = [[] for _ in shapes]
+        errors = []
+
+        def worker():
+            try:
+                for i, shape in enumerate(shapes):
+                    results[i].append(select_tiling(shape, A100, "model"))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for i, shape in enumerate(shapes):
+            expected = select_tiling_model(shape, A100)
+            for choice in results[i]:
+                assert choice.tiling == expected.tiling
+
+
+class TestStaleDeviceRegression:
+    """Two same-named DeviceSpecs must never alias cache entries."""
+
+    def test_select_tiling_not_stale(self):
+        shape = ConvShape(192, 160, 56, 56)
+        warm_first = select_tiling(shape, A100, "model")
+        tweaked = select_tiling(shape, TWEAKED_A100, "model")
+        # Parameter-correct: each equals its uncached recomputation.
+        assert warm_first == select_tiling_model(shape, A100)
+        assert tweaked == select_tiling_model(shape, TWEAKED_A100)
+        # And the tweaked device genuinely changes the outcome.
+        assert tweaked.simulated_latency != warm_first.simulated_latency
+
+    def test_select_tiling_oracle_not_stale(self):
+        shape = ConvShape(64, 32, 28, 28)
+        a = select_tiling(shape, A100, "oracle")
+        b = select_tiling(shape, TWEAKED_A100, "oracle")
+        assert a == select_tiling_oracle(shape, A100)
+        assert b == select_tiling_oracle(shape, TWEAKED_A100)
+        assert a.simulated_latency != b.simulated_latency
+
+    def test_performance_table_not_stale(self):
+        t_a = build_performance_table(64, 64, 14, 14, A100)
+        t_b = build_performance_table(64, 64, 14, 14, TWEAKED_A100)
+        fresh_a = build_performance_table(64, 64, 14, 14, A100, use_cache=False)
+        fresh_b = build_performance_table(
+            64, 64, 14, 14, TWEAKED_A100, use_cache=False
+        )
+        assert t_a.original_latency == fresh_a.original_latency
+        assert t_b.original_latency == fresh_b.original_latency
+        assert t_a.original_latency != t_b.original_latency
+        assert (
+            t_a.lookup(32, 32).total_latency
+            != t_b.lookup(32, 32).total_latency
+        )
+
+    def test_cache_keys_use_fingerprint_not_name(self):
+        assert A100.name == TWEAKED_A100.name
+        assert A100.fingerprint() != TWEAKED_A100.fingerprint()
+        shape = ConvShape(32, 32, 14, 14)
+        assert select_key(shape, A100, "model") != select_key(
+            shape, TWEAKED_A100, "model"
+        )
+        assert table_key(32, 32, 14, 14, 3, 3, A100, 32, "model") != table_key(
+            32, 32, 14, 14, 3, 3, TWEAKED_A100, 32, "model"
+        )
+
+    def test_fingerprint_stable_for_equal_specs(self):
+        assert A100.fingerprint() == replace(A100).fingerprint()
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        shape = ConvShape(32, 32, 14, 14)
+        choice = select_tiling(shape, A100, "model")
+        table = build_performance_table(128, 128, 14, 14, A100)
+        saved = save_plan_caches(tmp_path)
+        assert saved["tiling"] >= 1 and saved["table"] >= 1
+
+        clear_plan_caches()
+        loaded = load_plan_caches(tmp_path)
+        assert loaded["tiling"] == saved["tiling"]
+        assert loaded["table"] == saved["table"]
+
+        # Loaded entries serve lookups without recomputation and are
+        # value-equal to the originals.
+        assert tiling_cache().peek(select_key(shape, A100, "model")) == choice
+        reloaded = build_performance_table(128, 128, 14, 14, A100)
+        assert reloaded.original_latency == table.original_latency
+        assert reloaded.entries == table.entries
+        assert reloaded.lookup(32, 32) == table.lookup(32, 32)
+
+    def test_schema_version_mismatch_invalidates(self, tmp_path):
+        select_tiling(ConvShape(32, 32, 14, 14), A100, "model")
+        save_plan_caches(tmp_path)
+        path = tmp_path / "tiling.json"
+        doc = json.loads(path.read_text())
+        doc["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(doc))
+        clear_plan_caches()
+        assert load_plan_caches(tmp_path)["tiling"] == 0
+        assert len(tiling_cache()) == 0
+
+    def test_payload_version_mismatch_invalidates(self, tmp_path):
+        select_tiling(ConvShape(32, 32, 14, 14), A100, "model")
+        save_plan_caches(tmp_path)
+        path = tmp_path / "tiling.json"
+        doc = json.loads(path.read_text())
+        doc["payload_version"] = 999
+        path.write_text(json.dumps(doc))
+        clear_plan_caches()
+        assert load_plan_caches(tmp_path)["tiling"] == 0
+
+    def test_corrupt_file_invalidates(self, tmp_path):
+        (tmp_path / "tiling.json").write_text("{not json")
+        assert load_plan_caches(tmp_path)["tiling"] == 0
+
+    def test_missing_file_is_cold_start(self, tmp_path):
+        assert load_plan_caches(tmp_path)["tiling"] == 0
+
+    def test_memory_only_cache_refuses_persistence(self, tmp_path):
+        c = PlanCache("mem-only", maxsize=4, register=False)
+        with pytest.raises(RuntimeError):
+            c.save(tmp_path)
+        with pytest.raises(RuntimeError):
+            c.load(tmp_path)
+
+
+class TestWarmup:
+    def test_warm_tables_seeds_both_caches(self):
+        layers = [LayerShape("l1", 128, 128, 14, 14)]
+        stats = warm_tables(layers, (A100,))
+        assert stats.tables_built == 1
+        assert stats.tilings_seeded > 0
+        # The table and every core-shape tiling are now hits.
+        s0 = table_cache().stats()
+        build_performance_table(128, 128, 14, 14, A100)
+        assert table_cache().stats().hits == s0.hits + 1
+        t0 = tiling_cache().stats()
+        select_tiling(ConvShape(32, 32, 14, 14), A100, "model")
+        assert tiling_cache().stats().hits == t0.hits + 1
+
+    def test_warm_tables_skips_cached(self):
+        layers = [LayerShape("l1", 128, 128, 14, 14)]
+        warm_tables(layers, (A100,))
+        again = warm_tables(layers, (A100,))
+        assert again.tables_built == 0
+        assert again.tables_cached == 1
+
+    def test_warm_tables_parallel_matches_serial(self):
+        layers = [
+            LayerShape("l1", 128, 128, 14, 14),
+            LayerShape("l2", 64, 64, 14, 14),
+        ]
+        warm_tables(layers, (A100,), workers=2)
+        parallel = build_performance_table(128, 128, 14, 14, A100)
+        serial = build_performance_table(
+            128, 128, 14, 14, A100, use_cache=False
+        )
+        assert parallel.entries == serial.entries
+        assert parallel.original_latency == serial.original_latency
+
+    def test_parallel_table_construction_matches_serial(self):
+        parallel = build_performance_table(
+            128, 96, 14, 14, A100, use_cache=False, workers=2
+        )
+        serial = build_performance_table(
+            128, 96, 14, 14, A100, use_cache=False
+        )
+        assert parallel.entries == serial.entries
+
+    def test_seed_from_table_device_mismatch(self):
+        table = build_performance_table(64, 64, 14, 14, A100, use_cache=False)
+        with pytest.raises(ValueError):
+            seed_from_table(table, RTX2080TI)
+
+    def test_seed_from_table_same_name_different_params_rejected(self):
+        # Same display name is not enough: seeding a tweaked-A100 table
+        # under the real A100 would poison both caches.
+        table = build_performance_table(
+            64, 64, 14, 14, TWEAKED_A100, use_cache=False
+        )
+        with pytest.raises(ValueError):
+            seed_from_table(table, A100)
+
+    def test_warm_tilings_oracle(self):
+        shape = ConvShape(32, 32, 14, 14)
+        computed = warm_tilings([(shape, A100)], method="oracle")
+        assert computed == 1
+        s0 = tiling_cache().stats()
+        choice = select_tiling(shape, A100, "oracle")
+        assert tiling_cache().stats().hits == s0.hits + 1
+        assert choice == select_tiling_oracle(shape, A100)
+        # Already warm: nothing recomputed.
+        assert warm_tilings([(shape, A100)], method="oracle") == 0
+
+    def test_plan_many_grid(self):
+        spec = get_model_spec("resnet18")
+        plans = plan_many([spec], [A100], [0.5, 0.6])
+        assert set(plans) == {
+            plan_key(spec, A100, 0.5),
+            plan_key(spec, A100, 0.6),
+        }
+        for plan in plans.values():
+            assert len(plan.decisions) == 16
+
+    def test_plan_many_same_named_device_sweep(self):
+        # A sweep over same-named device variants must keep one plan
+        # per variant, not let the last one win.
+        spec = get_model_spec("resnet18")
+        plans = plan_many([spec], [A100, TWEAKED_A100], [0.6])
+        assert len(plans) == 2
+        p_real = plans[plan_key(spec, A100, 0.6)]
+        p_tweak = plans[plan_key(spec, TWEAKED_A100, 0.6)]
+        assert p_real.total_latency != p_tweak.total_latency
+
+    def test_plan_many_same_named_spec_variants(self):
+        # One architecture at two image sizes shares a display name but
+        # must keep one plan per variant.
+        spec224 = get_model_spec("resnet18", image_size=224)
+        spec112 = get_model_spec("resnet18", image_size=112)
+        assert spec224.fingerprint() != spec112.fingerprint()
+        plans = plan_many([spec224, spec112], [A100], [0.6])
+        assert len(plans) == 2
+        p224 = plans[plan_key(spec224, A100, 0.6)]
+        p112 = plans[plan_key(spec112, A100, 0.6)]
+        assert p224.total_latency != p112.total_latency
+        # Batched result matches the single-spec path for each variant.
+        b224 = estimate_e2e_many([spec224], [A100], [0.6])[0]
+        assert b224.as_milliseconds() == estimate_e2e(
+            spec224, A100, budget=0.6
+        ).as_milliseconds()
+
+    def test_plan_many_matches_direct_selection(self):
+        spec = get_model_spec("resnet18")
+        plans = plan_many([spec], [A100], [0.6])
+        from repro.codesign.pipeline import layer_shapes_from_spec
+
+        direct = select_ranks(
+            layer_shapes_from_spec(spec), A100, budget=0.6
+        )
+        assert plans[plan_key(spec, A100, 0.6)].ranks() == direct.ranks()
+
+    def test_plan_many_validates_inputs(self):
+        with pytest.raises(ValueError):
+            plan_many([], [A100], [0.6])
+
+    def test_estimate_e2e_many_matches_single(self):
+        spec = get_model_spec("resnet18")
+        batched = estimate_e2e_many([spec], [A100], [0.6])
+        single = estimate_e2e(spec, A100, budget=0.6)
+        assert len(batched) == 1
+        assert batched[0].as_milliseconds() == single.as_milliseconds()
+
+
+class TestConvShapeKeyCompleteness:
+    def test_as_tuple_includes_filter_extents(self):
+        shape = ConvShape(c=1, n=2, h=3, w=4, r=5, s=6)
+        assert shape.as_tuple() == (1, 2, 3, 4, 5, 6)
+
+    def test_filter_extent_reaches_cache_key(self):
+        shape3 = ConvShape(32, 32, 14, 14, r=3, s=3)
+        shape5 = ConvShape(32, 32, 14, 14, r=5, s=5)
+        assert select_key(shape3, A100, "model") != select_key(
+            shape5, A100, "model"
+        )
+        c3 = select_tiling(shape3, A100, "model")
+        c5 = select_tiling(shape5, A100, "model")
+        assert c3.simulated_latency != c5.simulated_latency
