@@ -28,7 +28,7 @@ from repro.kernels.base import ConvShape
 from repro.kernels.cudnn import CuDNNGemmKernel
 from repro.kernels.pointwise import pointwise_latency
 from repro.kernels.tdc_direct import TDCDirectKernel, Tiling
-from repro.perfmodel.tiling import select_tiling
+from repro.perfmodel.tiling import select_tiling, select_tilings
 from repro.planning.cache import PlanCache
 from repro.planning.pool import map_maybe_parallel
 from repro.utils.validation import check_positive_int
@@ -219,31 +219,53 @@ def table_key(
     return (c, n, h, w, r, s, device.fingerprint(), rank_step, method)
 
 
-def _compute_entry(
+def _grid_entries(
     c: int, n: int, h: int, w: int, r: int, s: int,
-    device: DeviceSpec, method: str, d1: int, d2: int,
-) -> TableEntry:
-    core_shape = ConvShape(c=d1, n=d2, h=h, w=w, r=r, s=s)
-    choice = select_tiling(core_shape, device, method=method)
-    return TableEntry(
-        d1=d1,
-        d2=d2,
-        pw1_latency=pointwise_latency(c, d1, h, w, device),
-        core_latency=choice.simulated_latency,
-        pw2_latency=pointwise_latency(d2, n, h, w, device),
-        tiling=choice.tiling,
-        flops=tucker_flops(c, n, h, w, d1, d2, r, s),
-    )
+    device: DeviceSpec, method: str,
+    pairs: Sequence[Tuple[int, int]],
+) -> List[TableEntry]:
+    """Table entries for a list of ``(D1, D2)`` rank pairs.
+
+    All core-shape tiling selections go through the batched selector
+    in one pass (cache hits skipped); the 1x1 stage latencies are
+    memoized per distinct ``D1`` / ``D2`` since they do not depend on
+    the partner rank.
+    """
+    core_shapes = [
+        ConvShape(c=d1, n=d2, h=h, w=w, r=r, s=s) for d1, d2 in pairs
+    ]
+    choices = select_tilings(core_shapes, device, method=method)
+    pw1: Dict[int, float] = {}
+    pw2: Dict[int, float] = {}
+    entries: List[TableEntry] = []
+    for (d1, d2), choice in zip(pairs, choices):
+        if d1 not in pw1:
+            pw1[d1] = pointwise_latency(c, d1, h, w, device)
+        if d2 not in pw2:
+            pw2[d2] = pointwise_latency(d2, n, h, w, device)
+        entries.append(
+            TableEntry(
+                d1=d1,
+                d2=d2,
+                pw1_latency=pw1[d1],
+                core_latency=choice.simulated_latency,
+                pw2_latency=pw2[d2],
+                tiling=choice.tiling,
+                flops=tucker_flops(c, n, h, w, d1, d2, r, s),
+            )
+        )
+    return entries
 
 
 def _entries_for_d1(args: tuple) -> List[TableEntry]:
     """One D1 row of the table; module-level so a process pool can
-    pickle it (the parallel construction path)."""
+    pickle it (the parallel construction path).  Each row batches its
+    D2 candidates through the vectorized selector, so ``workers=``
+    fan-out composes with per-worker vectorization."""
     c, n, h, w, r, s, device, method, d1, d2_list = args
-    return [
-        _compute_entry(c, n, h, w, r, s, device, method, d1, d2)
-        for d2 in d2_list
-    ]
+    return _grid_entries(
+        c, n, h, w, r, s, device, method, [(d1, d2) for d2 in d2_list]
+    )
 
 
 def build_performance_table(
@@ -261,9 +283,11 @@ def build_performance_table(
 ) -> PerformanceTable:
     """Generate (or fetch memoized) the table T for one layer shape.
 
-    With ``workers > 1`` the D1 rank rows are built concurrently in a
-    process pool — worthwhile for oracle sweeps on multi-core hosts;
-    the default stays serial.
+    The whole ``(D1, D2)`` rank grid is driven through the batched
+    tiling selector: serial builds evaluate every core shape's
+    candidate sweep in one vectorized pass, and with ``workers > 1``
+    the D1 rank rows fan out over a process pool whose workers each
+    batch their row — parallelism composes with vectorization.
     """
     key = table_key(c, n, h, w, r, s, device, rank_step, method)
     if use_cache:
@@ -278,11 +302,17 @@ def build_performance_table(
     d2_list = rank_candidates(n, rank_step)
     entries: List[TableEntry] = []
     if d1_list and d2_list:
-        jobs = [
-            (c, n, h, w, r, s, device, method, d1, d2_list) for d1 in d1_list
-        ]
-        for row in map_maybe_parallel(_entries_for_d1, jobs, workers):
-            entries.extend(row)
+        if workers is not None and workers > 1:
+            jobs = [
+                (c, n, h, w, r, s, device, method, d1, d2_list) for d1 in d1_list
+            ]
+            for row in map_maybe_parallel(_entries_for_d1, jobs, workers):
+                entries.extend(row)
+        else:
+            entries = _grid_entries(
+                c, n, h, w, r, s, device, method,
+                [(d1, d2) for d1 in d1_list for d2 in d2_list],
+            )
 
     table = PerformanceTable(
         c=c, n=n, h=h, w=w, r=r, s=s,

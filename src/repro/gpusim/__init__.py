@@ -7,6 +7,12 @@ atomics, launch overhead).  All "measured" latencies in the
 reproduction come from :func:`repro.gpusim.engine.simulate_kernel`.
 """
 
+from repro.gpusim.batch import (
+    BatchLatency,
+    LaunchBatch,
+    compute_occupancy_batch,
+    simulate_kernels_batch,
+)
 from repro.gpusim.device import A100, DEVICES, RTX2080TI, DeviceSpec, get_device
 from repro.gpusim.engine import (
     KernelLaunch,
@@ -28,4 +34,8 @@ __all__ = [
     "simulate_sequence",
     "Occupancy",
     "compute_occupancy",
+    "BatchLatency",
+    "LaunchBatch",
+    "compute_occupancy_batch",
+    "simulate_kernels_batch",
 ]

@@ -1,0 +1,391 @@
+"""Vectorized batch evaluation of kernel launches.
+
+The planner's cold path is dominated by exhaustive sweeps: the ORACLE
+tiling selector (Sec. 5.5) simulates every ``(TH, TW, TC)`` candidate
+and the performance table T (Sec. 6) repeats that for every
+``(D1, D2)`` rank pair.  Evaluating each candidate through
+:func:`repro.gpusim.engine.simulate_kernel` costs a Python object
+round trip; a full sweep is ~900 of them per shape.
+
+This module evaluates a whole candidate grid at once: a
+:class:`LaunchBatch` holds the :class:`~repro.gpusim.engine.KernelLaunch`
+fields as struct-of-arrays, and :func:`simulate_kernels_batch` runs the
+simulator's exact arithmetic as NumPy array expressions.  Every
+operation mirrors the scalar engine *including float evaluation order*
+(Python scalar arithmetic and NumPy float64 element-wise arithmetic
+are the same IEEE-754 double operations), so batched latencies are
+bit-identical to the scalar path — tie-breaks in downstream argmins
+resolve the same way.  The scalar engine stays the reference
+implementation; the equivalence suite asserts parity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.engine import KernelLaunch, LatencyBreakdown, simulate_kernel
+from repro.gpusim.occupancy import Occupancy
+
+__all__ = [
+    "LaunchBatch",
+    "BatchLatency",
+    "compute_occupancy_batch",
+    "simulate_kernels_batch",
+]
+
+# Stand-in for "unlimited" when a resource limit does not apply
+# (smem/regs of zero); any real limit is far below this.
+_NO_LIMIT = np.iinfo(np.int64).max // 2
+
+
+def _as_int_array(name: str, values) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        if not np.all(arr == np.floor(arr)):
+            raise ValueError(f"{name} must hold integers")
+        arr = arr.astype(np.int64)
+    return arr.astype(np.int64, copy=False)
+
+
+def _as_float_array(name: str, values) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return arr
+
+
+@dataclass
+class LaunchBatch:
+    """Struct-of-arrays view of many kernel launches.
+
+    Field-for-field mirror of :class:`~repro.gpusim.engine.KernelLaunch`
+    with every per-launch scalar replaced by a length-``n`` array.
+    Integer fields are ``int64``, work/traffic fields ``float64``.
+    """
+
+    n_blocks: np.ndarray
+    threads_per_block: np.ndarray
+    flops_per_block: np.ndarray
+    read_bytes: np.ndarray
+    write_bytes: np.ndarray
+    smem_per_block: np.ndarray
+    regs_per_thread: np.ndarray
+    syncs_per_block: np.ndarray
+    atomic_bytes: np.ndarray
+    atomic_conflict_degree: np.ndarray
+    global_stalls_per_block: np.ndarray
+    name: str = "batch"
+
+    _INT_FIELDS = (
+        "n_blocks",
+        "threads_per_block",
+        "smem_per_block",
+        "regs_per_thread",
+        "syncs_per_block",
+        "atomic_conflict_degree",
+        "global_stalls_per_block",
+    )
+    _FLOAT_FIELDS = ("flops_per_block", "read_bytes", "write_bytes", "atomic_bytes")
+
+    def __post_init__(self) -> None:
+        for f in self._INT_FIELDS:
+            setattr(self, f, _as_int_array(f, getattr(self, f)))
+        for f in self._FLOAT_FIELDS:
+            setattr(self, f, _as_float_array(f, getattr(self, f)))
+        n = len(self.n_blocks)
+        for f in self._INT_FIELDS + self._FLOAT_FIELDS:
+            if len(getattr(self, f)) != n:
+                raise ValueError(
+                    f"{self.name}: field {f} has {len(getattr(self, f))} "
+                    f"entries, expected {n}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.n_blocks)
+
+    @classmethod
+    def from_launches(
+        cls, launches: Sequence[KernelLaunch], name: str = "batch"
+    ) -> "LaunchBatch":
+        """Pack scalar launch descriptions into one batch."""
+        if not launches:
+            raise ValueError("cannot build a LaunchBatch from zero launches")
+        return cls(
+            n_blocks=[l.n_blocks for l in launches],
+            threads_per_block=[l.threads_per_block for l in launches],
+            flops_per_block=[l.flops_per_block for l in launches],
+            read_bytes=[l.read_bytes for l in launches],
+            write_bytes=[l.write_bytes for l in launches],
+            smem_per_block=[l.smem_per_block for l in launches],
+            regs_per_thread=[l.regs_per_thread for l in launches],
+            syncs_per_block=[l.syncs_per_block for l in launches],
+            atomic_bytes=[l.atomic_bytes for l in launches],
+            atomic_conflict_degree=[l.atomic_conflict_degree for l in launches],
+            global_stalls_per_block=[l.global_stalls_per_block for l in launches],
+            name=name,
+        )
+
+    @classmethod
+    def concat(cls, batches: Sequence["LaunchBatch"], name: str = "batch") -> "LaunchBatch":
+        """Concatenate several batches into one."""
+        if not batches:
+            raise ValueError("cannot concatenate zero batches")
+        kwargs = {
+            f.name: np.concatenate([getattr(b, f.name) for b in batches])
+            for f in fields(cls)
+            if f.name != "name"
+        }
+        return cls(name=name, **kwargs)
+
+    def launch(self, i: int, name: Optional[str] = None) -> KernelLaunch:
+        """Extract entry ``i`` as a scalar :class:`KernelLaunch`."""
+        return KernelLaunch(
+            n_blocks=int(self.n_blocks[i]),
+            threads_per_block=int(self.threads_per_block[i]),
+            flops_per_block=float(self.flops_per_block[i]),
+            read_bytes=float(self.read_bytes[i]),
+            write_bytes=float(self.write_bytes[i]),
+            smem_per_block=int(self.smem_per_block[i]),
+            regs_per_thread=int(self.regs_per_thread[i]),
+            syncs_per_block=int(self.syncs_per_block[i]),
+            atomic_bytes=float(self.atomic_bytes[i]),
+            atomic_conflict_degree=int(self.atomic_conflict_degree[i]),
+            global_stalls_per_block=int(self.global_stalls_per_block[i]),
+            name=name if name is not None else f"{self.name}[{i}]",
+        )
+
+    def validate(self, device: DeviceSpec) -> None:
+        """Array mirror of :meth:`KernelLaunch.validate`."""
+        if len(self) == 0:
+            raise ValueError(f"{self.name}: empty batch")
+        if np.any(self.n_blocks <= 0):
+            raise ValueError(f"{self.name}: n_blocks must be positive")
+        if np.any(self.threads_per_block <= 0):
+            raise ValueError(f"{self.name}: threads_per_block must be positive")
+        if np.any(self.flops_per_block < 0):
+            raise ValueError(f"{self.name}: flops_per_block must be >= 0")
+        if np.any(self.read_bytes < 0) or np.any(self.write_bytes < 0):
+            raise ValueError(f"{self.name}: memory traffic must be >= 0")
+        if np.any(self.atomic_bytes < 0):
+            raise ValueError(f"{self.name}: atomic_bytes must be >= 0")
+        if np.any(self.atomic_conflict_degree < 1):
+            raise ValueError(f"{self.name}: atomic_conflict_degree must be >= 1")
+        if np.any(self.global_stalls_per_block < 0):
+            raise ValueError(f"{self.name}: global_stalls_per_block must be >= 0")
+        if np.any(self.threads_per_block > device.max_threads_per_block):
+            bad = int(np.argmax(self.threads_per_block > device.max_threads_per_block))
+            raise ValueError(
+                f"{self.name}[{bad}]: {int(self.threads_per_block[bad])} "
+                f"threads/block exceeds device limit "
+                f"{device.max_threads_per_block}"
+            )
+
+
+@dataclass(frozen=True)
+class BatchLatency:
+    """Array mirror of :class:`~repro.gpusim.engine.LatencyBreakdown`.
+
+    Each field is a length-``n`` array; ``launch`` is broadcast to the
+    batch (it is the same device constant for every entry).
+    """
+
+    total: np.ndarray
+    compute: np.ndarray
+    memory: np.ndarray
+    sync: np.ndarray
+    atomic: np.ndarray
+    launch: np.ndarray
+    waves: np.ndarray           # int64
+    blocks_per_sm: np.ndarray   # int64, occupancy result per entry
+
+    def __len__(self) -> int:
+        return len(self.total)
+
+    def breakdown(self, i: int, device: DeviceSpec,
+                  threads_per_block: int) -> LatencyBreakdown:
+        """Entry ``i`` as a scalar :class:`LatencyBreakdown` (occupancy
+        is reconstructed without the limiting-factor attribution)."""
+        return LatencyBreakdown(
+            total=float(self.total[i]),
+            compute=float(self.compute[i]),
+            memory=float(self.memory[i]),
+            sync=float(self.sync[i]),
+            atomic=float(self.atomic[i]),
+            launch=float(self.launch[i]),
+            waves=int(self.waves[i]),
+            occupancy=Occupancy(
+                blocks_per_sm=int(self.blocks_per_sm[i]),
+                threads_per_block=threads_per_block,
+                limiting_factor="batch",
+                device_name=device.name,
+            ),
+        )
+
+
+def compute_occupancy_batch(
+    device: DeviceSpec,
+    threads_per_block: np.ndarray,
+    smem_per_block: Optional[np.ndarray] = None,
+    regs_per_thread: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Blocks-per-SM for many kernel configurations at once.
+
+    Array mirror of :func:`repro.gpusim.occupancy.compute_occupancy`:
+    the same four limits (resident threads, resident blocks, shared
+    memory, register file) with warp-quantized thread slots.  Returns
+    an ``int64`` array of blocks-per-SM; raises on any configuration
+    the scalar calculator would reject.
+    """
+    threads = _as_int_array("threads_per_block", threads_per_block)
+    n = len(threads)
+    smem = (
+        np.zeros(n, dtype=np.int64)
+        if smem_per_block is None
+        else _as_int_array("smem_per_block", smem_per_block)
+    )
+    regs = (
+        np.full(n, 32, dtype=np.int64)
+        if regs_per_thread is None
+        else _as_int_array("regs_per_thread", regs_per_thread)
+    )
+    if len(smem) != n or len(regs) != n:
+        raise ValueError("occupancy batch arrays must share one length")
+    if np.any(threads <= 0):
+        raise ValueError("threads_per_block must be positive")
+    if np.any(smem < 0):
+        raise ValueError("smem_per_block must be >= 0")
+    if np.any(regs < 0):
+        raise ValueError("regs_per_thread must be >= 0")
+    if np.any(threads > device.max_threads_per_block):
+        raise ValueError(
+            f"block of {int(threads.max())} threads exceeds device limit "
+            f"{device.max_threads_per_block}"
+        )
+    if np.any(smem > device.shared_mem_per_block):
+        raise ValueError(
+            f"block shared memory {int(smem.max())} B exceeds device limit "
+            f"{device.shared_mem_per_block} B"
+        )
+
+    warps = -(-threads // device.warp_size)  # ceil
+    slots_per_block = warps * device.warp_size
+
+    blocks = np.minimum(
+        device.max_threads_per_sm // slots_per_block,
+        np.int64(device.max_blocks_per_sm),
+    )
+    # Shared-memory / register limits apply only where the footprint is
+    # nonzero, exactly like the scalar calculator's conditional limits.
+    smem_limit = np.where(smem > 0, device.shared_mem_per_sm // np.maximum(smem, 1), _NO_LIMIT)
+    blocks = np.minimum(blocks, smem_limit)
+    regs_per_block = regs * slots_per_block
+    regs_limit = np.where(
+        regs > 0, device.registers_per_sm // np.maximum(regs_per_block, 1), _NO_LIMIT
+    )
+    blocks = np.minimum(blocks, regs_limit)
+    return np.maximum(blocks, 0).astype(np.int64)
+
+
+def simulate_kernels_batch(
+    device: DeviceSpec,
+    batch: LaunchBatch,
+    include_launch_overhead: bool = True,
+) -> BatchLatency:
+    """Simulate many kernel launches in one vectorized pass.
+
+    Mirrors :func:`repro.gpusim.engine.simulate_kernel` term by term —
+    wave quantization, warp-throttled compute, roofline memory, sync /
+    stall / atomic serialization, launch overhead — with every float
+    expression in the scalar engine's evaluation order, so results are
+    bit-identical to simulating each entry individually.
+    """
+    batch.validate(device)
+    blocks_per_sm = compute_occupancy_batch(
+        device,
+        threads_per_block=batch.threads_per_block,
+        smem_per_block=batch.smem_per_block,
+        regs_per_thread=batch.regs_per_thread,
+    )
+    if np.any(blocks_per_sm == 0):
+        bad = int(np.argmax(blocks_per_sm == 0))
+        raise ValueError(
+            f"{batch.name}[{bad}]: block does not fit on {device.name}"
+        )
+
+    n_blocks = batch.n_blocks
+    # Resident blocks per SM: capped by occupancy, small grids spread out.
+    grid_fill = np.ceil(n_blocks / device.n_sms).astype(np.int64)
+    b_eff = np.minimum(blocks_per_sm, np.maximum(1, grid_fill))
+    waves = np.maximum(
+        1, np.ceil(n_blocks / (device.n_sms * b_eff)).astype(np.int64)
+    )
+
+    # Warp-granular issue throttling (see the scalar engine's notes).
+    warps = -(-batch.threads_per_block // device.warp_size)
+    resident_warps = b_eff * warps
+    sm_peak = device.fp32_lanes_per_sm * device.lane_rate
+    per_thread_rate = sm_peak / (
+        device.warp_size * np.maximum(resident_warps, device.warps_to_saturate)
+    )
+    per_thread_work = batch.flops_per_block / batch.threads_per_block
+    block_time = np.where(
+        per_thread_work > 0, per_thread_work / per_thread_rate, 0.0
+    )
+    compute_time = waves * block_time
+
+    # Memory: DRAM roofline traffic plus per-wave startup latency.
+    bytes_total = batch.read_bytes + batch.write_bytes
+    memory_time = bytes_total / device.dram_bandwidth + waves * device.dram_latency
+
+    # Synchronization stacks per wave.
+    sync_time = waves * batch.syncs_per_block * device.sync_cost
+
+    # Serialized global-memory stalls, hidden by resident warps.  A
+    # zero stall count contributes exactly 0.0, matching the scalar
+    # engine's conditional.
+    hiding = np.maximum(1.0, np.minimum(16.0, (b_eff * warps).astype(np.float64)))
+    stall_unit = 0.35 * device.dram_latency / hiding
+    sync_time = sync_time + waves * batch.global_stalls_per_block * stall_unit
+
+    # Atomics: L2 serialization with conflict multiplier.
+    conflict = 1.0 + 0.25 * (batch.atomic_conflict_degree - 1)
+    atomic_time = np.where(
+        batch.atomic_bytes > 0,
+        batch.atomic_bytes * conflict / device.atomic_throughput,
+        0.0,
+    )
+
+    launch_scalar = device.kernel_launch_overhead if include_launch_overhead else 0.0
+    launch_time = np.full(len(batch), launch_scalar)
+
+    total = np.maximum(compute_time, memory_time) + sync_time + atomic_time + launch_time
+    return BatchLatency(
+        total=total,
+        compute=compute_time,
+        memory=memory_time,
+        sync=sync_time,
+        atomic=atomic_time,
+        launch=launch_time,
+        waves=waves,
+        blocks_per_sm=blocks_per_sm,
+    )
+
+
+def simulate_launches_reference(
+    device: DeviceSpec,
+    batch: LaunchBatch,
+    include_launch_overhead: bool = True,
+) -> List[LatencyBreakdown]:
+    """Scalar-engine evaluation of a batch (the parity reference)."""
+    return [
+        simulate_kernel(
+            device, batch.launch(i), include_launch_overhead=include_launch_overhead
+        )
+        for i in range(len(batch))
+    ]

@@ -137,9 +137,13 @@ def estimate_e2e_many(
         specs, devices, budgets,
         theta=theta, rank_step=rank_step, workers=workers,
     )
+    # Fingerprint -> device, built once: the plans dict keys devices by
+    # content fingerprint, and an O(plans x devices) linear rescan per
+    # plan is pure waste on big sweeps.
+    device_by_fp = {d.fingerprint(): d for d in devices}
     oracle_pairs = []
     for (_, fp, _), plan in plans.items():
-        device = next(d for d in devices if d.fingerprint() == fp)
+        device = device_by_fp[fp]
         for decision in plan.decisions:
             if decision.decomposed:
                 layer = decision.layer

@@ -123,8 +123,23 @@ class ConvKernel:
     def _check_run_args(
         self, x: np.ndarray, weight: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, ConvShape]:
-        x = np.asarray(x, dtype=np.float64)
-        weight = np.asarray(weight, dtype=np.float64)
+        x = np.asarray(x)
+        weight = np.asarray(weight)
+        # Execute in the inputs' common float dtype — float32 inputs
+        # stay float32 end to end (the device executes float32; silent
+        # float64 promotion doubles memory and hides precision issues).
+        # Non-float inputs (ints, bools) promote to float64 as before,
+        # and sub-float32 floats (float16) promote to float32: the
+        # modeled device has no half-precision accumulate path, and
+        # accumulating C*R*S terms in float16 would be a silent
+        # precision cliff.
+        dtype = np.result_type(x.dtype, weight.dtype)
+        if not np.issubdtype(dtype, np.floating):
+            dtype = np.dtype(np.float64)
+        elif dtype.itemsize < np.dtype(np.float32).itemsize:
+            dtype = np.dtype(np.float32)
+        x = np.asarray(x, dtype=dtype)
+        weight = np.asarray(weight, dtype=dtype)
         if x.ndim != 3:
             raise ValueError(f"input must be (C,H,W), got {x.shape}")
         if weight.ndim != 4:

@@ -138,7 +138,8 @@ class CuDNNGemmKernel(ConvKernel):
         x, weight, shape = self._check_run_args(x, weight)
         xp = pad_input(x, shape)
         # Build the (K, M) im2col matrix explicitly.
-        cols = np.empty((shape.c * shape.r * shape.s, shape.h * shape.w))
+        cols = np.empty((shape.c * shape.r * shape.s, shape.h * shape.w),
+                        dtype=x.dtype)
         idx = 0
         for c in range(shape.c):
             for r in range(shape.r):
@@ -279,29 +280,34 @@ class CuDNNWinogradKernel(ConvKernel):
         self._check_supported(shape)
         th = ceil(shape.h / 2)
         tw = ceil(shape.w / 2)
+        # Transform matrices in the execution dtype (their entries are
+        # exactly representable in float32, so no accuracy is lost).
+        bt = WINO_BT.astype(x.dtype, copy=False)
+        g = WINO_G.astype(x.dtype, copy=False)
+        at = WINO_AT.astype(x.dtype, copy=False)
         # Pad so tiles cover the output: need (2*th + 2, 2*tw + 2).
-        xp = np.zeros((shape.c, 2 * th + 2, 2 * tw + 2))
+        xp = np.zeros((shape.c, 2 * th + 2, 2 * tw + 2), dtype=x.dtype)
         base = pad_input(x, shape)  # (C, H+2, W+2)
         xp[:, : base.shape[1], : base.shape[2]] = base
 
         # Filter transform U = G g G^T: (N, C, 4, 4) -> (4, 4, N, C)
-        u = np.einsum("ij,ncjk,lk->ncil", WINO_G, weight, WINO_G, optimize=True)
+        u = np.einsum("ij,ncjk,lk->ncil", g, weight, g, optimize=True)
         u = u.transpose(2, 3, 0, 1)
 
         # Input transform V = B^T d B per tile: (4, 4, C, P)
-        d = np.empty((shape.c, th, tw, 4, 4))
+        d = np.empty((shape.c, th, tw, 4, 4), dtype=x.dtype)
         for i in range(th):
             for j in range(tw):
                 d[:, i, j] = xp[:, 2 * i : 2 * i + 4, 2 * j : 2 * j + 4]
-        v = np.einsum("ij,cpqjk,lk->cpqil", WINO_BT, d, WINO_BT, optimize=True)
+        v = np.einsum("ij,cpqjk,lk->cpqil", bt, d, bt, optimize=True)
         v = v.transpose(3, 4, 0, 1, 2).reshape(4, 4, shape.c, th * tw)
 
         # Batched GEMMs: M[k1,k2] = U[k1,k2] @ V[k1,k2]
         m = np.einsum("ijnc,ijcp->ijnp", u, v, optimize=True)
 
         # Output transform: Y = A^T M A per tile -> (2, 2, N, P)
-        yt = np.einsum("ki,ijnp,lj->klnp", WINO_AT, m, WINO_AT, optimize=True)
-        y = np.zeros((shape.n, 2 * th, 2 * tw))
+        yt = np.einsum("ki,ijnp,lj->klnp", at, m, at, optimize=True)
+        y = np.zeros((shape.n, 2 * th, 2 * tw), dtype=x.dtype)
         yt = yt.reshape(2, 2, shape.n, th, tw)
         for a in range(2):
             for b in range(2):
@@ -376,11 +382,13 @@ class CuDNNFFTKernel(ConvKernel):
         hf = shape.h + shape.r - 1
         wf = shape.w + shape.s - 1
         xp = pad_input(x, shape)  # (C, hf, wf)
-        kp = np.zeros((shape.n, shape.c, hf, wf))
+        kp = np.zeros((shape.n, shape.c, hf, wf), dtype=x.dtype)
         kp[:, :, : shape.r, : shape.s] = weight
         xf = np.fft.rfft2(xp, s=(hf, wf))
         kf = np.fft.rfft2(kp, s=(hf, wf))
         # Circular cross-correlation: IFFT( X * conj(K) ).
         yf = np.einsum("chw,nchw->nhw", xf, np.conj(kf), optimize=True)
-        y = np.fft.irfft2(yf, s=(hf, wf))
+        # np.fft always computes in double precision; cast back so the
+        # kernel's output dtype matches its inputs.
+        y = np.fft.irfft2(yf, s=(hf, wf)).astype(x.dtype, copy=False)
         return y[:, : shape.h, : shape.w]

@@ -25,6 +25,7 @@ from typing import List
 
 import numpy as np
 
+from repro.gpusim.batch import LaunchBatch, compute_occupancy_batch
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.engine import KernelLaunch
 from repro.gpusim.occupancy import compute_occupancy
@@ -109,6 +110,125 @@ def is_feasible(tiling: Tiling, shape: ConvShape, device: DeviceSpec) -> bool:
     return occ.blocks_per_sm >= 1
 
 
+def clip_tile_arrays(shape: ConvShape, th, tw, tc):
+    """Validate and clip candidate tile arrays to the problem size."""
+    th = np.asarray(th, dtype=np.int64)
+    tw = np.asarray(tw, dtype=np.int64)
+    tc = np.asarray(tc, dtype=np.int64)
+    if not (th.shape == tw.shape == tc.shape) or th.ndim != 1:
+        raise ValueError("th/tw/tc must be equal-length 1-D arrays")
+    if np.any(th <= 0) or np.any(tw <= 0) or np.any(tc <= 0):
+        raise ValueError("tile extents must be positive")
+    return (
+        np.minimum(th, shape.h),
+        np.minimum(tw, shape.w),
+        np.minimum(tc, shape.c),
+    )
+
+
+def smem_bytes_batch(shape: ConvShape, th, tw, tc) -> np.ndarray:
+    """Array mirror of :func:`smem_bytes` over clipped tile arrays."""
+    return tc * (th + shape.r - 1) * (tw + shape.s - 1) * FLOAT_BYTES
+
+
+def regs_per_thread_batch(shape: ConvShape, th, tw) -> np.ndarray:
+    """Array mirror of :func:`regs_per_thread` over clipped tile arrays."""
+    return th * tw + shape.r * shape.s + REG_OVERHEAD
+
+
+def is_feasible_batch(
+    shape: ConvShape, device: DeviceSpec, th, tw, tc
+) -> np.ndarray:
+    """Vectorized :func:`is_feasible`: one bool per candidate tiling.
+
+    Accepts unclipped tile arrays (they are clipped exactly as the
+    scalar path clips) and never raises for infeasible candidates —
+    they simply come back ``False``.
+    """
+    th, tw, tc = clip_tile_arrays(shape, th, tw, tc)
+    if shape.n > device.max_threads_per_block:
+        return np.zeros(len(th), dtype=bool)
+    smem = smem_bytes_batch(shape, th, tw, tc)
+    regs = regs_per_thread_batch(shape, th, tw)
+    ok = (smem <= device.shared_mem_per_block) & (regs <= MAX_REGS_PER_THREAD)
+    # Occupancy only for candidates that pass the block-level limits;
+    # the others get a safely-clipped footprint and are masked anyway.
+    blocks = compute_occupancy_batch(
+        device,
+        threads_per_block=np.full(len(th), shape.n, dtype=np.int64),
+        smem_per_block=np.where(ok, smem, 0),
+        regs_per_thread=np.where(ok, regs, 0),
+    )
+    return ok & (blocks >= 1)
+
+
+def tdc_launch_batch(
+    shape: ConvShape,
+    device: DeviceSpec,
+    th,
+    tw,
+    tc,
+    crsn_layout: bool = True,
+    name: str = "tdc_core",
+    pre_checked: bool = False,
+) -> LaunchBatch:
+    """Launch descriptions for a whole tiling-candidate grid at once.
+
+    Array mirror of :meth:`TDCDirectKernel.launches` — per-candidate
+    ``flops_per_block`` / ``read_bytes`` / ``write_bytes`` / ``smem`` /
+    ``regs`` arrays with the same integer/float arithmetic, so feeding
+    the result to :func:`repro.gpusim.batch.simulate_kernels_batch`
+    reproduces the scalar per-candidate latencies bit for bit.  Raises
+    if any candidate is infeasible; callers that already masked the
+    grid with :func:`is_feasible_batch` pass ``pre_checked=True`` to
+    skip the redundant occupancy pass (the selectors' hot path).
+    """
+    th, tw, tc = clip_tile_arrays(shape, th, tw, tc)
+    if not pre_checked:
+        feasible = is_feasible_batch(shape, device, th, tw, tc)
+        if not np.all(feasible):
+            bad = int(np.argmax(~feasible))
+            t = Tiling(int(th[bad]), int(tw[bad]), int(tc[bad]))
+            raise ValueError(
+                f"tiling {t} infeasible for shape {shape} on {device.name}"
+            )
+
+    tiles_h = -(-shape.h // th)
+    tiles_w = -(-shape.w // tw)
+    n_ctiles = -(-shape.c // tc)
+    tiles_hw = tiles_h * tiles_w
+    blocks = tiles_hw * n_ctiles
+    halo_h = th + shape.r - 1
+    halo_w = tw + shape.s - 1
+
+    flops_blk = 2.0 * halo_h * halo_w * tc * shape.n * shape.r * shape.s
+
+    vol_x = tiles_hw * shape.c * halo_h * halo_w
+    vol_k = tiles_hw * shape.c * shape.n * shape.r * shape.s
+    read_bytes = ((vol_x + vol_k) * FLOAT_BYTES).astype(np.float64)
+    if not crsn_layout:
+        read_bytes = read_bytes + vol_k * FLOAT_BYTES * (UNCOALESCED_PENALTY - 1.0)
+
+    vol_y = shape.h * shape.w * shape.n * n_ctiles
+    write_bytes = (vol_y * FLOAT_BYTES).astype(np.float64)
+
+    n_cands = len(th)
+    return LaunchBatch(
+        n_blocks=blocks,
+        threads_per_block=np.full(n_cands, shape.n, dtype=np.int64),
+        flops_per_block=flops_blk,
+        read_bytes=read_bytes,
+        write_bytes=write_bytes,
+        smem_per_block=smem_bytes_batch(shape, th, tw, tc),
+        regs_per_thread=regs_per_thread_batch(shape, th, tw),
+        syncs_per_block=np.ones(n_cands, dtype=np.int64),
+        atomic_bytes=write_bytes,
+        atomic_conflict_degree=n_ctiles,
+        global_stalls_per_block=np.ones(n_cands, dtype=np.int64),
+        name=f"{name}{shape}",
+    )
+
+
 class TDCDirectKernel(ConvKernel):
     """The TDC core-convolution kernel with a fixed tiling.
 
@@ -185,7 +305,7 @@ class TDCDirectKernel(ConvKernel):
         x, weight, shape = self._check_run_args(x, weight)
         t = self.tiling.clipped(shape)
         xp = pad_input(x, shape)
-        y = np.zeros((shape.n, shape.h, shape.w))
+        y = np.zeros((shape.n, shape.h, shape.w), dtype=x.dtype)
         for c0 in range(0, shape.c, t.tc):
             c1 = min(c0 + t.tc, shape.c)
             for h0 in range(0, shape.h, t.th):
@@ -195,7 +315,7 @@ class TDCDirectKernel(ConvKernel):
                     # Stage the input cube (shared memory load + sync).
                     smem = xp[c0:c1, h0 : h0 + hsz + shape.r - 1,
                               w0 : w0 + wsz + shape.s - 1]
-                    temp = np.zeros((shape.n, hsz, wsz))
+                    temp = np.zeros((shape.n, hsz, wsz), dtype=x.dtype)
                     for r in range(shape.r):
                         for s in range(shape.s):
                             patch = smem[:, r : r + hsz, s : s + wsz]

@@ -155,14 +155,14 @@ class TVMDirectKernel(ConvKernel):
         x, weight, shape = self._check_run_args(x, weight)
         t = self.tiling.clipped(shape)
         xp = pad_input(x, shape)
-        y = np.zeros((shape.n, shape.h, shape.w))
+        y = np.zeros((shape.n, shape.h, shape.w), dtype=x.dtype)
         for n0 in range(0, shape.n, t.tn):
             n1 = min(n0 + t.tn, shape.n)
             for h0 in range(0, shape.h, t.th):
                 hsz = min(t.th, shape.h - h0)
                 for w0 in range(0, shape.w, t.tw):
                     wsz = min(t.tw, shape.w - w0)
-                    acc = np.zeros((n1 - n0, hsz, wsz))
+                    acc = np.zeros((n1 - n0, hsz, wsz), dtype=x.dtype)
                     for c in range(shape.c):  # C loop with smem staging
                         smem_in = xp[c, h0 : h0 + hsz + shape.r - 1,
                                      w0 : w0 + wsz + shape.s - 1]

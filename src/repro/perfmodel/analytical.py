@@ -14,10 +14,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from math import ceil
 
+import numpy as np
+
+from repro.gpusim.batch import compute_occupancy_batch
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.occupancy import compute_occupancy
 from repro.kernels.base import FLOAT_BYTES, ConvShape
-from repro.kernels.tdc_direct import Tiling, regs_per_thread, smem_bytes
+from repro.kernels.tdc_direct import (
+    Tiling,
+    clip_tile_arrays,
+    regs_per_thread,
+    regs_per_thread_batch,
+    smem_bytes,
+    smem_bytes_batch,
+)
 
 
 @dataclass(frozen=True)
@@ -127,6 +137,75 @@ def volume_total(shape: ConvShape, tiling: Tiling) -> float:
 def memory_latency(shape: ConvShape, tiling: Tiling, device: DeviceSpec) -> float:
     """Memory latency estimate: Eq. 19 volume over DRAM bandwidth."""
     return volume_total(shape, tiling) * FLOAT_BYTES / device.dram_bandwidth
+
+
+def comp_latency_blk_batch(
+    shape: ConvShape, device: DeviceSpec, th, tw, tc
+) -> np.ndarray:
+    """Vectorized :func:`comp_latency_blk` over a tile-candidate grid.
+
+    The batched Eq. 15 family mirrors the scalar expressions' float
+    evaluation order, so each element is bit-identical to the scalar
+    call for that candidate (the equivalence suite asserts it).
+    """
+    th, tw, tc = clip_tile_arrays(shape, th, tw, tc)
+    return (
+        2.0
+        * (th + shape.r - 1)
+        * (tw + shape.s - 1)
+        * tc
+        * device.total_threads
+        * shape.r
+        * shape.s
+        / device.peak_flops
+    )
+
+
+def comp_waves_batch(
+    shape: ConvShape, device: DeviceSpec, th, tw, tc
+) -> np.ndarray:
+    """Vectorized Eq. 14 (:func:`comp_waves`) over a candidate grid."""
+    th, tw, tc = clip_tile_arrays(shape, th, tw, tc)
+    num_blks = (-(-shape.h // th)) * (-(-shape.w // tw)) * (-(-shape.c // tc))
+    blocks = compute_occupancy_batch(
+        device,
+        threads_per_block=np.full(len(th), shape.n, dtype=np.int64),
+        smem_per_block=smem_bytes_batch(shape, th, tw, tc),
+        regs_per_thread=regs_per_thread_batch(shape, th, tw),
+    )
+    occupancy = (blocks * shape.n) / device.max_threads_per_sm
+    if np.any(occupancy <= 0):
+        bad = int(np.argmax(occupancy <= 0))
+        t = Tiling(int(th[bad]), int(tw[bad]), int(tc[bad]))
+        raise ValueError(f"tiling {t} yields zero occupancy for {shape}")
+    exact = num_blks * shape.n / (device.total_threads * occupancy)
+    return np.where(exact > 1.0, np.ceil(exact), exact)
+
+
+def comp_latency_batch(
+    shape: ConvShape, device: DeviceSpec, th, tw, tc
+) -> np.ndarray:
+    """Vectorized Eq. 15 (:func:`comp_latency`) over a candidate grid."""
+    return comp_waves_batch(shape, device, th, tw, tc) * comp_latency_blk_batch(
+        shape, device, th, tw, tc
+    )
+
+
+def memory_latency_batch(
+    shape: ConvShape, device: DeviceSpec, th, tw, tc
+) -> np.ndarray:
+    """Vectorized Eq. 19 volume over bandwidth (:func:`memory_latency`)."""
+    th, tw, tc = clip_tile_arrays(shape, th, tw, tc)
+    tiles_h = -(-shape.h // th)
+    tiles_w = -(-shape.w // tw)
+    vol_input = (
+        tiles_h * tiles_w * shape.c
+        * (th + shape.r - 1) * (tw + shape.s - 1)
+    )
+    vol_kernel = tiles_h * tiles_w * shape.c * shape.n
+    vol_output = shape.h * shape.w * shape.n * (-(-shape.c // tc))
+    total = vol_input + vol_kernel + vol_output
+    return total * FLOAT_BYTES / device.dram_bandwidth
 
 
 def estimate(shape: ConvShape, tiling: Tiling, device: DeviceSpec) -> AnalyticalEstimate:

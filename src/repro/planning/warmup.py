@@ -40,6 +40,7 @@ from repro.perfmodel.tiling import (
     select_key,
     select_tiling_model,
     select_tiling_oracle,
+    select_tilings_grid,
     tiling_cache,
 )
 from repro.planning.pool import map_maybe_parallel
@@ -177,7 +178,9 @@ def warm_tables(
 
 
 def _tiling_choice_job(args: tuple) -> TilingChoice:
-    """Compute one tiling selection uncached (process-pool friendly)."""
+    """Compute one tiling selection uncached (process-pool friendly).
+    The selectors are batched internally, so each worker evaluates its
+    candidate grid as one vectorized pass."""
     shape, device, method = args
     if method == "model":
         return select_tiling_model(shape, device)
@@ -195,7 +198,11 @@ def warm_tilings(
     Table warm-up only covers the configured selection method; the
     end-to-end harness also runs the *oracle* backend over the planned
     core shapes, whose exhaustive sweeps are the dominant cold cost.
-    Returns the number of selections computed (cached pairs skip).
+    Serial warm-up packs each device's shapes through the batched grid
+    selector (one concatenated simulator pass per device); with
+    ``workers > 1`` the pairs fan out over a process pool instead,
+    each worker running its own vectorized sweep.  Returns the number
+    of selections computed (cached pairs skip).
     """
     if method not in ("model", "oracle"):
         raise ValueError(f"unknown tiling selection method {method!r}")
@@ -207,14 +214,31 @@ def warm_tilings(
             continue
         seen.add(key)
         todo.append((shape, device))
-    choices = map_maybe_parallel(
-        _tiling_choice_job,
-        [(shape, device, method) for shape, device in todo],
-        workers,
-    )
-    for (shape, device), choice in zip(todo, choices):
-        seed_tiling_choice(shape, device, choice)
-    return len(choices)
+    if workers is not None and workers > 1:
+        choices = map_maybe_parallel(
+            _tiling_choice_job,
+            [(shape, device, method) for shape, device in todo],
+            workers,
+        )
+        for (shape, device), choice in zip(todo, choices):
+            seed_tiling_choice(shape, device, choice)
+        return len(choices)
+
+    # Serial: group by device and run one batched grid pass per group.
+    groups: Dict[str, Tuple[DeviceSpec, List[ConvShape]]] = {}
+    for shape, device in todo:
+        fp = device.fingerprint()
+        if fp not in groups:
+            groups[fp] = (device, [])
+        groups[fp][1].append(shape)
+    computed = 0
+    for device, shapes in groups.values():
+        for shape, choice in zip(
+            shapes, select_tilings_grid(shapes, device, method=method)
+        ):
+            seed_tiling_choice(shape, device, choice)
+            computed += 1
+    return computed
 
 
 def plan_key(spec: ModelSpec, device: DeviceSpec, budget: float) -> PlanKey:

@@ -356,3 +356,60 @@ class TestAsymmetricFilters:
         w = rng.standard_normal((2, 3, 3, 3))
         y = TDCDirectKernel(Tiling(2, 4, 2)).run(x, w)
         np.testing.assert_allclose(y, reference_conv(x, w), atol=1e-10)
+
+
+class TestRunDtype:
+    """Kernel ``run`` executes in the inputs' dtype: float32 stays
+    float32 end to end (no silent float64 promotion), float64 is
+    unchanged, and non-float inputs still promote to float64."""
+
+    KERNEL_CASES = [
+        (lambda: TDCDirectKernel(Tiling(4, 4, 3)), 3, 3),
+        (lambda: TVMDirectKernel(TVMTiling(4, 4, 2)), 3, 3),
+        (lambda: CuDNNGemmKernel(GemmConfig(128, 128, 256, 1)), 3, 3),
+        (lambda: CuDNNWinogradKernel(), 3, 3),
+        (lambda: CuDNNFFTKernel(), 3, 3),
+        (lambda: PointwiseConvKernel(), 1, 1),
+    ]
+
+    KERNEL_IDS = ["tdc", "tvm", "gemm", "winograd", "fft", "pointwise"]
+
+    @pytest.mark.parametrize("factory,r,s", KERNEL_CASES, ids=KERNEL_IDS)
+    def test_float32_stays_float32(self, factory, r, s, rng):
+        x = rng.standard_normal((5, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((4, 5, r, s)).astype(np.float32)
+        y = factory().run(x, w)
+        assert y.dtype == np.float32
+        np.testing.assert_allclose(
+            y, reference_conv(x, w), rtol=1e-4, atol=1e-4
+        )
+
+    @pytest.mark.parametrize("factory,r,s", KERNEL_CASES, ids=KERNEL_IDS)
+    def test_float64_unchanged(self, factory, r, s, rng):
+        x = rng.standard_normal((5, 8, 8))
+        w = rng.standard_normal((4, 5, r, s))
+        y = factory().run(x, w)
+        assert y.dtype == np.float64
+        np.testing.assert_allclose(y, reference_conv(x, w), atol=1e-10)
+
+    def test_mixed_dtypes_promote(self, rng):
+        x = rng.standard_normal((3, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((2, 3, 3, 3))  # float64
+        y = TDCDirectKernel(Tiling(3, 3, 2)).run(x, w)
+        assert y.dtype == np.float64
+
+    def test_integer_inputs_promote_to_float64(self):
+        x = np.ones((2, 5, 5), dtype=np.int32)
+        w = np.ones((2, 2, 3, 3), dtype=np.int64)
+        y = TDCDirectKernel(Tiling(2, 2, 2)).run(x, w)
+        assert y.dtype == np.float64
+        np.testing.assert_allclose(y, reference_conv(x, w), atol=1e-10)
+
+    def test_float16_promotes_to_float32(self, rng):
+        x = rng.standard_normal((3, 6, 6)).astype(np.float16)
+        w = rng.standard_normal((2, 3, 3, 3)).astype(np.float16)
+        y = TDCDirectKernel(Tiling(3, 3, 2)).run(x, w)
+        assert y.dtype == np.float32
+        np.testing.assert_allclose(
+            y, reference_conv(x, w), rtol=1e-2, atol=1e-2
+        )
