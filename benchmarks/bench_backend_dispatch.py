@@ -1,0 +1,144 @@
+"""Backend-dispatch benchmark: auto vs fixed backends, per model.
+
+Two quantities per model, on warm planning caches:
+
+1. **End-to-end simulated latency** of the compressed network under
+   every registered fixed backend and under ``auto`` (per-layer
+   fastest).  Auto must never exceed the best fixed backend — that is
+   the registry's correctness contract, and this script exits non-zero
+   if it is violated.
+2. **Dispatch overhead**: wall-clock of ``plan_tucker_model`` with
+   ``auto`` (which evaluates every registered backend per core conv)
+   vs with the single best fixed backend.  Warm caches isolate the
+   registry's own bookkeeping from kernel simulation cost.
+
+Results are written to ``BENCH_backend_dispatch.json`` so future PRs
+can track both the latency win of auto dispatch and its planning-time
+price.
+
+Run:  PYTHONPATH=src python benchmarks/bench_backend_dispatch.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.backends import AUTO_BACKEND, backend_names
+from repro.codesign.pipeline import layer_shapes_from_spec
+from repro.codesign.rank_selection import select_ranks
+from repro.experiments.common import MODEL_BUDGETS
+from repro.gpusim.device import get_device
+from repro.inference.plan import plan_tucker_model
+from repro.models.arch_specs import get_model_spec
+
+MODELS = ("resnet18", "resnet50", "vgg16")
+QUICK_MODELS = ("resnet18",)
+
+
+def _time_plan(spec, rank_plan, device, backend, repeats):
+    """Best wall-clock over ``repeats`` warm plan builds, plus the plan."""
+    best = float("inf")
+    plan = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        plan = plan_tucker_model(spec, rank_plan, device, core_backend=backend)
+        best = min(best, time.perf_counter() - t0)
+    return best, plan
+
+
+def bench_model(model: str, device, repeats: int) -> dict:
+    spec = get_model_spec(model)
+    rank_plan = select_ranks(
+        layer_shapes_from_spec(spec), device,
+        budget=MODEL_BUDGETS.get(model, 0.6),
+    )
+
+    fixed = {}
+    for backend in backend_names():
+        try:
+            # First build warms every cache the backend consults.
+            plan_tucker_model(spec, rank_plan, device, core_backend=backend)
+        except ValueError:
+            continue  # backend does not support some core shape
+        wall_s, plan = _time_plan(spec, rank_plan, device, backend, repeats)
+        fixed[backend] = {
+            "e2e_latency_s": plan.total_latency(),
+            "plan_wall_s": wall_s,
+        }
+
+    plan_tucker_model(spec, rank_plan, device, core_backend=AUTO_BACKEND)
+    auto_wall_s, auto_plan = _time_plan(
+        spec, rank_plan, device, AUTO_BACKEND, repeats
+    )
+
+    best_fixed = min(fixed, key=lambda b: fixed[b]["e2e_latency_s"])
+    best_fixed_s = fixed[best_fixed]["e2e_latency_s"]
+    auto_s = auto_plan.total_latency()
+    dispatch_overhead = auto_wall_s / fixed[best_fixed]["plan_wall_s"]
+
+    print(f"  {model:12s} auto {auto_s * 1e3:7.3f} ms  "
+          f"best fixed [{best_fixed}] {best_fixed_s * 1e3:7.3f} ms  "
+          f"dispatch {auto_wall_s * 1e3:7.2f} ms wall "
+          f"({dispatch_overhead:.1f}x vs fixed)")
+    for backend, row in fixed.items():
+        print(f"    {backend:>14s}  e2e {row['e2e_latency_s'] * 1e3:8.3f} ms"
+              f"  plan wall {row['plan_wall_s'] * 1e3:7.2f} ms")
+
+    return {
+        "model": model,
+        "budget": MODEL_BUDGETS.get(model, 0.6),
+        "fixed": fixed,
+        "auto": {
+            "e2e_latency_s": auto_s,
+            "plan_wall_s": auto_wall_s,
+            "per_layer_choices": auto_plan.backend_counts(),
+        },
+        "best_fixed_backend": best_fixed,
+        "auto_speedup_vs_best_fixed": best_fixed_s / auto_s,
+        "dispatch_overhead_vs_best_fixed": dispatch_overhead,
+        "auto_not_slower": auto_s <= best_fixed_s + 1e-12,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="one model, single repeat (CI smoke)")
+    parser.add_argument("--device", default="A100")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--json-path", default="BENCH_backend_dispatch.json")
+    args = parser.parse_args(argv)
+
+    device = get_device(args.device)
+    models = QUICK_MODELS if args.quick else MODELS
+    repeats = 1 if args.quick else args.repeats
+
+    print(f"Backend dispatch on {device.name} "
+          f"(backends: {', '.join(backend_names())}):")
+    results = {
+        "device": device.name,
+        "device_fingerprint": device.fingerprint(),
+        "quick": args.quick,
+        "repeats": repeats,
+        "backends": list(backend_names()),
+        "models": [bench_model(m, device, repeats) for m in models],
+    }
+    with open(args.json_path, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.json_path}")
+
+    violations = [m["model"] for m in results["models"]
+                  if not m["auto_not_slower"]]
+    if violations:
+        print(f"FAIL: auto slower than the best fixed backend on "
+              f"{violations}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

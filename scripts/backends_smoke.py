@@ -1,0 +1,84 @@
+"""CI smoke for the kernel-backend registry.
+
+Two drift checks, both through the real CLI in subprocesses:
+
+1. ``python -m repro.cli backends list`` must advertise exactly the
+   registry's known names (registered backends plus ``auto``) — a
+   backend added to the registry but invisible to users, or a stale
+   CLI listing, fails here.
+2. ``python -m repro.cli e2e`` must run end to end for *every* known
+   backend name on one small model, and its output must contain the
+   variant's latency column — a backend that registers but cannot plan
+   a whole model fails here.
+
+Run:  PYTHONPATH=src python scripts/backends_smoke.py
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+from repro.backends import known_backend_names
+from repro.experiments.e2e import display_name
+
+SMOKE_MODEL = "resnet18"
+SMOKE_DEVICE = "A100"
+
+
+def run_cli(*args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        raise SystemExit(
+            f"FAIL: 'repro.cli {' '.join(args)}' exited {proc.returncode}"
+        )
+    return proc.stdout
+
+
+def check_listing() -> None:
+    out = run_cli("backends", "list")
+    advertised = {
+        line.split("|")[0].strip()
+        for line in out.splitlines()
+        if "|" in line and not line.startswith("name")
+    }
+    advertised.discard("")
+    expected = set(known_backend_names())
+    if advertised != expected:
+        raise SystemExit(
+            f"FAIL: CLI advertises {sorted(advertised)} but the registry "
+            f"knows {sorted(expected)}"
+        )
+    print(f"backends list OK: {sorted(advertised)}")
+
+
+def check_e2e_per_backend() -> None:
+    for name in known_backend_names():
+        out = run_cli(
+            "e2e", "--device", SMOKE_DEVICE,
+            "--models", SMOKE_MODEL, "--backend", name,
+        )
+        column = f"TK-{display_name(name)} (ms)"
+        if column not in out:
+            print(out)
+            raise SystemExit(
+                f"FAIL: e2e output for backend {name!r} lacks the "
+                f"{column!r} column"
+            )
+        print(f"e2e --backend {name} OK")
+
+
+def main() -> int:
+    check_listing()
+    check_e2e_per_backend()
+    print("backends smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

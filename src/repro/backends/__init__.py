@@ -1,0 +1,42 @@
+"""Pluggable kernel-backend registry for core-conv planning.
+
+Importing this package registers the built-in backends; see
+:mod:`repro.backends.registry` for the protocol and
+:mod:`repro.backends.builtin` for the implementations.
+"""
+
+from repro.backends.registry import (
+    AUTO_BACKEND,
+    CoreDispatch,
+    KernelBackend,
+    auto_dispatch,
+    backend_names,
+    dispatch_core,
+    get_backend,
+    group_pairs_by_device,
+    known_backend_names,
+    register_backend,
+    registered_backends,
+    temporary_backend,
+    unregister_backend,
+    validate_backend,
+)
+from repro.backends.builtin import PAPER_CORE_BACKENDS
+
+__all__ = [
+    "AUTO_BACKEND",
+    "CoreDispatch",
+    "KernelBackend",
+    "PAPER_CORE_BACKENDS",
+    "auto_dispatch",
+    "backend_names",
+    "dispatch_core",
+    "get_backend",
+    "group_pairs_by_device",
+    "known_backend_names",
+    "register_backend",
+    "registered_backends",
+    "temporary_backend",
+    "unregister_backend",
+    "validate_backend",
+]

@@ -1,0 +1,206 @@
+"""Built-in kernel backends.
+
+The four compressed bars of Figs. 8/9 (``tdc-model``, ``tdc-oracle``,
+``tvm``, ``cudnn``) plus the two cuDNN algorithms the paper benchmarks
+layerwise but whose cores were previously unreachable from whole-model
+planning: ``cudnn-winograd`` and ``cudnn-fft``.  Importing this module
+(or :mod:`repro.backends`) registers all of them.
+
+The TDC backends ride the planning caches: ``core_latency`` goes
+through :func:`repro.perfmodel.tiling.select_tiling` (memoized per
+shape/device/method) and ``batch_latencies``/``warm`` through the
+batched selectors, so ``auto`` dispatch and warm-up sweeps stay
+vectorized.  The TVM backend memoizes its exhaustive tuning per
+(shape, device) — previously every planned layer re-tuned from
+scratch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.backends.registry import KernelBackend, register_backend
+from repro.gpusim.device import DeviceSpec
+from repro.kernels.base import ConvShape
+from repro.kernels.cudnn import (
+    CuDNNFFTKernel,
+    CuDNNGemmKernel,
+    CuDNNWinogradKernel,
+)
+from repro.kernels.tvm_direct import TVMDirectKernel
+from repro.perfmodel.tiling import select_tiling, select_tilings
+from repro.planning.cache import PlanCache
+
+#: The paper's four compressed end-to-end variants (bar order of
+#: Figs. 8/9).  The figures always plot exactly these; ``auto`` and any
+#: future backend are opt-in extras.
+PAPER_CORE_BACKENDS: Tuple[str, ...] = (
+    "cudnn", "tvm", "tdc-oracle", "tdc-model",
+)
+
+
+class _TDCBackend(KernelBackend):
+    """TDC direct kernel with a tiling selected by ``method``."""
+
+    method = ""
+
+    def core_latency(self, shape: ConvShape, device: DeviceSpec) -> float:
+        return select_tiling(shape, device, method=self.method).simulated_latency
+
+    def tiling(self, shape: ConvShape, device: DeviceSpec) -> Optional[str]:
+        # Memoized: core_latency already cached this selection.
+        return str(select_tiling(shape, device, method=self.method).tiling)
+
+    def batch_latencies(
+        self, shapes: Sequence[ConvShape], device: DeviceSpec
+    ) -> List[float]:
+        return [
+            choice.simulated_latency
+            for choice in select_tilings(shapes, device, method=self.method)
+        ]
+
+    def warm(
+        self,
+        shapes_devices: Sequence[Tuple[ConvShape, DeviceSpec]],
+        workers: Optional[int] = None,
+    ) -> int:
+        # warm_tilings composes process-pool fan-out with per-worker
+        # vectorized sweeps and seeds the shared tiling cache.
+        from repro.planning.warmup import warm_tilings
+
+        return warm_tilings(shapes_devices, method=self.method, workers=workers)
+
+
+@register_backend
+class TDCModelBackend(_TDCBackend):
+    """Analytical-model tiling selection (Sec. 5.5 MODEL)."""
+
+    name = "tdc-model"
+    description = "TDC direct kernel, analytical-model tiling (Sec. 5.5)"
+    method = "model"
+
+
+@register_backend
+class TDCOracleBackend(_TDCBackend):
+    """Exhaustive simulated tiling selection (Sec. 5.5 ORACLE)."""
+
+    name = "tdc-oracle"
+    description = "TDC direct kernel, exhaustive oracle tiling (Sec. 5.5)"
+    method = "oracle"
+
+
+# TVM tuning results, memoized in the planning-cache subsystem like
+# every other deterministic planner selection: bounded LRU, visible to
+# `cache stats`, dropped by `cache clear`, persisted by `cache warm`.
+_TVM_TUNING_CACHE = PlanCache(
+    "tvm_tuning",
+    maxsize=4096,
+    payload_version=1,
+    encode=lambda v: {"latency": v[0], "tiling": v[1]},
+    decode=lambda doc: (float(doc["latency"]), str(doc["tiling"])),
+)
+
+
+def _tvm_tune_job(args: tuple) -> Tuple[float, str]:
+    """Tune one shape uncached; module-level so a process pool can
+    pickle it (the parallel warm-up path)."""
+    shape, device = args
+    kernel = TVMDirectKernel.tuned(shape, device)
+    return (kernel.latency(shape, device), str(kernel.tiling))
+
+
+@register_backend
+class TVMBackend(KernelBackend):
+    """TVM-style direct conv (Listing 1), exhaustively auto-tuned."""
+
+    name = "tvm"
+    description = "TVM-style direct conv (Listing 1), auto-tuned"
+
+    @staticmethod
+    def _key(shape: ConvShape, device: DeviceSpec) -> tuple:
+        return shape.as_tuple() + (device.fingerprint(),)
+
+    def _tune(self, shape: ConvShape, device: DeviceSpec) -> Tuple[float, str]:
+        # Tuning sweeps ~400 candidates; planned models repeat shapes.
+        return _TVM_TUNING_CACHE.get_or_build(
+            self._key(shape, device), lambda: _tvm_tune_job((shape, device))
+        )
+
+    def warm(
+        self,
+        shapes_devices: Sequence[Tuple[ConvShape, DeviceSpec]],
+        workers: Optional[int] = None,
+    ) -> int:
+        """Fan uncached tuning sweeps out over a process pool and seed
+        the parent's tuning cache (cached pairs skip)."""
+        from repro.planning.pool import map_maybe_parallel
+
+        todo: List[Tuple[tuple, ConvShape, DeviceSpec]] = []
+        seen = set()
+        for shape, device in shapes_devices:
+            key = self._key(shape, device)
+            if key in seen or _TVM_TUNING_CACHE.peek(key) is not None:
+                continue
+            seen.add(key)
+            todo.append((key, shape, device))
+        results = map_maybe_parallel(
+            _tvm_tune_job, [(shape, device) for _, shape, device in todo],
+            workers,
+        )
+        for (key, _, _), value in zip(todo, results):
+            _TVM_TUNING_CACHE.put(key, value)
+        return len(todo)
+
+    def core_latency(self, shape: ConvShape, device: DeviceSpec) -> float:
+        return self._tune(shape, device)[0]
+
+    def tiling(self, shape: ConvShape, device: DeviceSpec) -> Optional[str]:
+        return self._tune(shape, device)[1]
+
+
+class _StatelessBackend(KernelBackend):
+    """A backend with no memoization: every latency is recomputed on
+    demand, so warm-up would only evaluate and discard."""
+
+    def warm(
+        self,
+        shapes_devices: Sequence[Tuple[ConvShape, DeviceSpec]],
+        workers: Optional[int] = None,
+    ) -> int:
+        return 0
+
+
+@register_backend
+class CuDNNGemmBackend(_StatelessBackend):
+    """cuDNN IMPLICIT_GEMM, the paper's baseline core kernel."""
+
+    name = "cudnn"
+    description = "cuDNN IMPLICIT_GEMM (paper baseline)"
+
+    def core_latency(self, shape: ConvShape, device: DeviceSpec) -> float:
+        return CuDNNGemmKernel().latency(shape, device)
+
+
+@register_backend
+class CuDNNWinogradBackend(_StatelessBackend):
+    """cuDNN WINOGRAD F(2x2, 3x3); 3x3 cores only."""
+
+    name = "cudnn-winograd"
+    description = "cuDNN WINOGRAD F(2x2,3x3); 3x3 cores only"
+
+    def supports(self, shape: ConvShape, device: DeviceSpec) -> bool:
+        return shape.r == 3 and shape.s == 3
+
+    def core_latency(self, shape: ConvShape, device: DeviceSpec) -> float:
+        return CuDNNWinogradKernel().latency(shape, device)
+
+
+@register_backend
+class CuDNNFFTBackend(_StatelessBackend):
+    """cuDNN FFT convolution (frequency-domain products)."""
+
+    name = "cudnn-fft"
+    description = "cuDNN FFT convolution"
+
+    def core_latency(self, shape: ConvShape, device: DeviceSpec) -> float:
+        return CuDNNFFTKernel().latency(shape, device)

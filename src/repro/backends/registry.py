@@ -1,0 +1,280 @@
+"""The kernel-backend registry: pluggable core-conv latency providers.
+
+The paper's central claim is hardware-aware *choice* — run each core
+convolution through whichever kernel the device actually executes
+fastest.  The planner therefore must not hardwire its backends: a
+:class:`KernelBackend` wraps one core-conv scheme behind a uniform
+protocol, the :func:`register_backend` decorator publishes it, and
+:func:`dispatch_core` resolves a backend *name* (including the special
+``"auto"`` pseudo-backend) to a concrete latency for one core shape on
+one device.
+
+Protocol
+--------
+A backend provides:
+
+- ``name`` — the registry key (also the CLI spelling);
+- ``supports(shape, device)`` — whether the scheme can run this core
+  shape at all (e.g. Winograd F(2x2,3x3) is 3x3-only);
+- ``core_latency(shape, device)`` — simulated seconds for the core
+  conv, launch overhead included;
+- ``tiling(shape, device)`` — optional human-readable description of
+  the tiling/config that produced the latency (recorded per kernel on
+  the execution plan);
+- ``batch_latencies(shapes, device)`` — optional vectorized path for
+  many shapes at once (the TDC backends ride the batched tiling
+  selectors of :mod:`repro.perfmodel.tiling`);
+- ``warm(shapes_devices, workers=)`` — pre-populate whatever caches
+  the backend consults, used by :func:`repro.planning.warmup` so that
+  oracle sweeps stay batched (and optionally fan out over a process
+  pool).
+
+``"auto"`` is *not* a registry entry — it is the dispatcher itself:
+for each core shape it evaluates every registered backend that
+supports the shape and keeps the fastest, so a freshly registered
+backend immediately participates in whole-model planning.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type, Union
+
+from repro.gpusim.device import DeviceSpec
+from repro.kernels.base import ConvShape
+
+#: Name of the per-layer fastest-registered-backend dispatcher.  Valid
+#: anywhere a backend name is accepted, but never stored in the
+#: registry itself (it would recurse).
+AUTO_BACKEND = "auto"
+
+
+@dataclass(frozen=True)
+class CoreDispatch:
+    """Outcome of resolving one core conv to a concrete backend."""
+
+    backend: str               # registered backend that produced the latency
+    latency: float             # simulated seconds, launch overhead included
+    tiling: Optional[str] = None   # tiling/config description, if any
+
+
+class KernelBackend:
+    """Base class for core-conv kernel backends.
+
+    Subclasses override :meth:`core_latency` (required) and any of the
+    optional hooks; see the module docstring for the protocol.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def supports(self, shape: ConvShape, device: DeviceSpec) -> bool:
+        """Whether this scheme can run the core shape on the device."""
+        return True
+
+    def core_latency(self, shape: ConvShape, device: DeviceSpec) -> float:
+        """Simulated core-conv latency in seconds."""
+        raise NotImplementedError
+
+    def tiling(self, shape: ConvShape, device: DeviceSpec) -> Optional[str]:
+        """Description of the tiling/config behind ``core_latency``."""
+        return None
+
+    def batch_latencies(
+        self, shapes: Sequence[ConvShape], device: DeviceSpec
+    ) -> List[float]:
+        """Latencies for many shapes; override for a vectorized path."""
+        return [self.core_latency(shape, device) for shape in shapes]
+
+    def warm(
+        self,
+        shapes_devices: Sequence[Tuple[ConvShape, DeviceSpec]],
+        workers: Optional[int] = None,
+    ) -> int:
+        """Pre-populate the backend's caches for explicit pairs.
+
+        The default dedupes the pairs, groups them by device, and
+        drives each group through :meth:`batch_latencies` *serially* —
+        appropriate for backends that memoize inside
+        ``core_latency``/``batch_latencies``.  ``workers`` is advisory
+        and only honored by backends with cache-seeding process-pool
+        machinery (the TDC tiling caches, TVM tuning), which override
+        this; backends with nothing to memoize should override it as a
+        no-op instead of paying for discarded evaluations.  Returns the
+        number of (shape, device) evaluations performed.
+        """
+        seen = set()
+        deduped = []
+        for shape, device in shapes_devices:
+            key = shape.as_tuple() + (device.fingerprint(),)
+            if key not in seen:
+                seen.add(key)
+                deduped.append((shape, device))
+        count = 0
+        for device, shapes in group_pairs_by_device(deduped):
+            supported = [s for s in shapes if self.supports(s, device)]
+            if supported:
+                self.batch_latencies(supported, device)
+            count += len(supported)
+        return count
+
+    def dispatch(self, shape: ConvShape, device: DeviceSpec) -> CoreDispatch:
+        """Resolve one core shape through this backend."""
+        return CoreDispatch(
+            backend=self.name,
+            latency=self.core_latency(shape, device),
+            tiling=self.tiling(shape, device),
+        )
+
+
+def group_pairs_by_device(
+    shapes_devices: Sequence[Tuple[ConvShape, DeviceSpec]],
+) -> List[Tuple[DeviceSpec, List[ConvShape]]]:
+    """Group (shape, device) pairs by device *fingerprint* — batched
+    backend paths want one pass per distinct device."""
+    groups: Dict[str, Tuple[DeviceSpec, List[ConvShape]]] = {}
+    for shape, device in shapes_devices:
+        fp = device.fingerprint()
+        if fp not in groups:
+            groups[fp] = (device, [])
+        groups[fp][1].append(shape)
+    return list(groups.values())
+
+
+# Registration order is preserved: ``auto`` breaks latency ties in
+# favor of the earliest-registered backend, and tables/CLI listings
+# render in this order.
+_REGISTRY: Dict[str, KernelBackend] = {}
+
+
+def register_backend(
+    backend: Union[KernelBackend, Type[KernelBackend]],
+) -> Union[KernelBackend, Type[KernelBackend]]:
+    """Register a backend (usable as a class decorator).
+
+    A class is instantiated with no arguments; an instance is stored
+    as-is.  Names must be unique, non-empty, and not ``"auto"``.
+    """
+    instance = backend() if isinstance(backend, type) else backend
+    name = instance.name
+    if not name:
+        raise ValueError(
+            f"backend {type(instance).__name__} has no name; set the "
+            f"'name' class attribute"
+        )
+    if name == AUTO_BACKEND:
+        raise ValueError(
+            f"{AUTO_BACKEND!r} is the dispatcher, not a registrable backend"
+        )
+    if name in _REGISTRY:
+        raise ValueError(f"backend {name!r} is already registered")
+    _REGISTRY[name] = instance
+    return backend
+
+
+def unregister_backend(name: str) -> KernelBackend:
+    """Remove a backend (tests; plugins swapping an implementation)."""
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise ValueError(
+            f"backend {name!r} is not registered; "
+            f"registered: {backend_names()}"
+        ) from None
+
+
+@contextmanager
+def temporary_backend(backend: KernelBackend) -> Iterator[KernelBackend]:
+    """Register a backend for the duration of a ``with`` block."""
+    register_backend(backend)
+    try:
+        yield backend
+    finally:
+        unregister_backend(backend.name)
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Look a backend up by name; raises with the known names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; registered backends: "
+            f"{backend_names()} (plus {AUTO_BACKEND!r})"
+        ) from None
+
+
+def registered_backends() -> Tuple[KernelBackend, ...]:
+    """All registered backend instances, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Names of the registered backends, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def known_backend_names() -> Tuple[str, ...]:
+    """Every name :func:`dispatch_core` accepts: the registry plus
+    ``"auto"``."""
+    return backend_names() + (AUTO_BACKEND,)
+
+
+def validate_backend(name: str) -> str:
+    """Fail fast on an unknown backend name (returns it when valid).
+
+    Planners call this once at entry so a typo surfaces immediately —
+    not mid-plan at the first decomposed conv.
+    """
+    if name != AUTO_BACKEND and name not in _REGISTRY:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; registered backends: "
+            f"{backend_names()} (plus {AUTO_BACKEND!r})"
+        )
+    return name
+
+
+def auto_dispatch(shape: ConvShape, device: DeviceSpec) -> CoreDispatch:
+    """The ``auto`` policy: fastest registered backend for this shape.
+
+    Backends that do not support the shape — or whose tuner raises
+    ``ValueError`` (no feasible config) — are skipped.  Ties keep the
+    earliest-registered backend.
+    """
+    best: Optional[CoreDispatch] = None
+    for backend in _REGISTRY.values():
+        if not backend.supports(shape, device):
+            continue
+        try:
+            latency = backend.core_latency(shape, device)
+        except ValueError:
+            continue
+        if best is None or latency < best.latency:
+            best = CoreDispatch(
+                backend=backend.name,
+                latency=latency,
+                tiling=backend.tiling(shape, device),
+            )
+    if best is None:
+        raise ValueError(
+            f"no registered backend supports core shape {shape} on "
+            f"{device.name}; registered: {backend_names()}"
+        )
+    return best
+
+
+def dispatch_core(
+    shape: ConvShape, device: DeviceSpec, backend: str = AUTO_BACKEND
+) -> CoreDispatch:
+    """Resolve one core conv: a fixed backend by name, or ``auto``."""
+    validate_backend(backend)
+    if backend == AUTO_BACKEND:
+        return auto_dispatch(shape, device)
+    resolved = get_backend(backend)
+    if not resolved.supports(shape, device):
+        raise ValueError(
+            f"backend {backend!r} does not support core shape {shape} "
+            f"on {device.name}"
+        )
+    return resolved.dispatch(shape, device)

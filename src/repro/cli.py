@@ -4,6 +4,8 @@ Usage:
     python -m repro.cli fig4
     python -m repro.cli fig6 --device 2080Ti
     python -m repro.cli e2e --device A100
+    python -m repro.cli e2e --models resnet18 --backend auto tdc-oracle
+    python -m repro.cli backends list
     python -m repro.cli oracle-gap --device A100
     python -m repro.cli ablations --device A100
     python -m repro.cli table2
@@ -21,6 +23,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.backends import known_backend_names
 from repro.gpusim.device import get_device
 
 
@@ -40,7 +43,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_device(sub.add_parser("fig6", help="layerwise kernels (A100)"))
     _add_device(sub.add_parser("fig7", help="layerwise kernels (2080Ti)"),
                 "2080Ti")
-    _add_device(sub.add_parser("e2e", help="end-to-end inference (Figs 8/9)"))
+    e2e = sub.add_parser("e2e", help="end-to-end inference (Figs 8/9)")
+    _add_device(e2e)
+    e2e.add_argument(
+        "--models", nargs="+", default=None,
+        help="model specs to estimate (default: the paper's five CNNs)",
+    )
+    e2e.add_argument(
+        "--backend", nargs="+", default=None, choices=known_backend_names(),
+        metavar="BACKEND",
+        help="core backends to compare (any registered name or 'auto'; "
+             f"known: {', '.join(known_backend_names())}; default: the "
+             "paper's four compressed variants)",
+    )
+
+    backends = sub.add_parser("backends", help="kernel-backend registry")
+    backends_sub = backends.add_subparsers(dest="backends_command",
+                                           required=True)
+    backends_sub.add_parser("list", help="registered core-conv backends")
     _add_device(sub.add_parser("oracle-gap", help="Sec 5.5 model-vs-oracle"))
     _add_device(sub.add_parser("ablations", help="design-choice ablations"))
 
@@ -162,6 +182,27 @@ def _run_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_backends(args: argparse.Namespace) -> int:
+    from repro.backends import AUTO_BACKEND, registered_backends
+    from repro.utils.tables import Table
+
+    if args.backends_command == "list":
+        table = Table(
+            ["name", "class", "description"],
+            title="Registered kernel backends",
+        )
+        for backend in registered_backends():
+            table.add_row(
+                [backend.name, type(backend).__name__, backend.description]
+            )
+        table.add_row(
+            [AUTO_BACKEND, "-",
+             "dispatcher: fastest registered backend per core conv"]
+        )
+        print(table.render())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -179,7 +220,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "e2e":
         from repro.experiments import e2e
 
-        print(e2e.run(get_device(args.device)).render())
+        device = get_device(args.device)
+        results = e2e.run_models(
+            device, models=args.models, backends=args.backend
+        )
+        print(e2e.results_table(results, device).render())
+        auto_table = e2e.auto_dispatch_summary(results, device)
+        if auto_table is not None:
+            print()
+            print(auto_table.render())
+    elif args.command == "backends":
+        return _run_backends(args)
     elif args.command == "oracle-gap":
         from repro.experiments import oracle_gap
 

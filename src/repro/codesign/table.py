@@ -22,10 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.backends import get_backend
 from repro.codesign.flops import conv_flops, tucker_flops
 from repro.gpusim.device import DeviceSpec
 from repro.kernels.base import ConvShape
-from repro.kernels.cudnn import CuDNNGemmKernel
 from repro.kernels.pointwise import pointwise_latency
 from repro.kernels.tdc_direct import TDCDirectKernel, Tiling
 from repro.perfmodel.tiling import select_tiling, select_tilings
@@ -296,7 +296,9 @@ def build_performance_table(
             return cached
 
     dense_shape = ConvShape(c=c, n=n, h=h, w=w, r=r, s=s)
-    original_latency = CuDNNGemmKernel().latency(dense_shape, device)
+    # The kernel an undecomposed layer would use at inference, resolved
+    # through the backend registry (the paper's cuDNN baseline).
+    original_latency = get_backend("cudnn").core_latency(dense_shape, device)
 
     d1_list = rank_candidates(c, rank_step)
     d2_list = rank_candidates(n, rank_step)

@@ -17,6 +17,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.backends import validate_backend
 from repro.codesign.pipeline import layer_shapes_from_spec
 from repro.codesign.rank_selection import select_ranks
 from repro.gpusim.device import DeviceSpec
@@ -55,19 +56,28 @@ def crsn_layout_ablation(
 
 
 def theta_rule_ablation(
-    device: DeviceSpec, model: str = "densenet121", budget: float = 0.1
+    device: DeviceSpec,
+    model: str = "densenet121",
+    budget: float = 0.1,
+    core_backend: str = "tdc-model",
 ) -> Table:
-    """End-to-end latency with and without the θ skip rule."""
+    """End-to-end latency with and without the θ skip rule.
+
+    ``core_backend`` is any registered backend name (or ``"auto"``);
+    it is validated up front so a typo fails before rank selection.
+    """
+    validate_backend(core_backend)
     spec = get_model_spec(model)
     layers = layer_shapes_from_spec(spec)
     table = Table(
         ["theta", "decomposed layers", "e2e latency (ms)"],
-        title=f"Ablation: θ-threshold rule on {model} ({device.name})",
+        title=f"Ablation: θ-threshold rule on {model} "
+              f"({device.name}, {core_backend})",
     )
     for theta in (0.0, 0.15):
         plan = select_ranks(layers, device, budget=budget, theta=theta)
         latency = plan_tucker_model(
-            spec, plan, device, core_backend="tdc-model"
+            spec, plan, device, core_backend=core_backend
         ).total_latency()
         n_dec = sum(1 for d in plan.decisions if d.decomposed)
         table.add_row([f"{theta:.2f}", f"{n_dec}/{len(plan.decisions)}",

@@ -1,21 +1,34 @@
 """Inference execution plans and end-to-end latency estimation."""
 
-from repro.inference.engine import E2EResult, estimate_e2e, estimate_e2e_many
+from repro.backends import PAPER_CORE_BACKENDS
+from repro.inference.engine import (
+    E2EResult,
+    ORIGINAL_VARIANT,
+    estimate_e2e,
+    estimate_e2e_many,
+    resolve_backend_list,
+)
 from repro.inference.plan import (
-    CORE_BACKENDS,
     ExecutionPlan,
     PlannedKernel,
     plan_dense_model,
     plan_tucker_model,
 )
 
+# Historical alias: the four fixed compressed variants of Figs. 8/9.
+# Backend dispatch itself now lives in :mod:`repro.backends`.
+CORE_BACKENDS = PAPER_CORE_BACKENDS
+
 __all__ = [
+    "CORE_BACKENDS",
     "E2EResult",
+    "ExecutionPlan",
+    "ORIGINAL_VARIANT",
+    "PAPER_CORE_BACKENDS",
+    "PlannedKernel",
     "estimate_e2e",
     "estimate_e2e_many",
-    "CORE_BACKENDS",
-    "ExecutionPlan",
-    "PlannedKernel",
     "plan_dense_model",
     "plan_tucker_model",
+    "resolve_backend_list",
 ]

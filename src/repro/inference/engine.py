@@ -1,24 +1,27 @@
 """End-to-end inference latency estimation (the Figs. 8/9 harness).
 
-``estimate_e2e`` produces the five bars of the end-to-end figures for
-one model on one device:
-
-- original network via cuDNN,
-- TKD-compressed network with cuDNN core convs,
-- TKD-compressed with TVM core convs,
-- TKD-compressed with TDC-ORACLE core convs,
-- TKD-compressed with TDC-MODEL core convs.
+``estimate_e2e`` produces the end-to-end variants for one model on one
+device: the original network via cuDNN plus the TKD-compressed network
+under every requested core backend.  By default those are the paper's
+four compressed bars (``cudnn``, ``tvm``, ``tdc-oracle``,
+``tdc-model``); any registered backend name — or ``"auto"``, the
+per-layer fastest-registered dispatcher — can be requested through
+``backends=``.
 
 All variants share one hardware-aware rank plan (selected against the
 device), mirroring the paper's setup where the same compressed model is
-executed by different kernels.
+executed by different kernels.  Results are variant-keyed: an
+:class:`E2EResult` holds a ``variants`` mapping that round-trips
+arbitrary registered backends, with the historical five accessors
+(``original``, ``tucker_cudnn``, ...) kept as properties.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.backends import PAPER_CORE_BACKENDS, validate_backend
 from repro.codesign.pipeline import layer_shapes_from_spec
 from repro.codesign.rank_selection import RankPlan, select_ranks
 from repro.gpusim.device import DeviceSpec
@@ -26,52 +29,118 @@ from repro.inference.plan import ExecutionPlan, plan_dense_model, plan_tucker_mo
 from repro.kernels.base import ConvShape
 from repro.models.arch_specs import ModelSpec
 
+#: Key of the uncompressed-network variant in ``E2EResult.variants``.
+ORIGINAL_VARIANT = "original"
+
+
+def resolve_backend_list(
+    backends: Optional[Sequence[str]],
+) -> Tuple[str, ...]:
+    """Validate and dedupe a requested backend list (fail fast).
+
+    ``None`` means the paper's four compressed variants; order is
+    preserved (it becomes bar/column order).
+    """
+    if backends is None:
+        backends = PAPER_CORE_BACKENDS
+    resolved: List[str] = []
+    for name in backends:
+        if name == ORIGINAL_VARIANT:
+            raise ValueError(
+                f"{ORIGINAL_VARIANT!r} is the uncompressed baseline, always "
+                f"included; request core backends only"
+            )
+        validate_backend(name)
+        if name not in resolved:
+            resolved.append(name)
+    if not resolved:
+        raise ValueError("at least one core backend is required")
+    return tuple(resolved)
+
 
 @dataclass
 class E2EResult:
-    """End-to-end latencies (seconds) for one model/device pair."""
+    """End-to-end latencies (seconds) for one model/device pair.
+
+    ``variants`` maps variant name -> total latency and always contains
+    ``"original"`` plus one entry per requested core backend.  ``plans``
+    keeps the underlying execution plans (same keys), so per-layer
+    dispatch decisions — which backend ``auto`` picked where — stay
+    inspectable after estimation.
+    """
 
     model_name: str
     device_name: str
     budget: float
-    original: float
-    tucker_cudnn: float
-    tucker_tvm: float
-    tucker_tdc_oracle: float
-    tucker_tdc_model: float
+    variants: Dict[str, float]
     rank_plan: RankPlan
+    plans: Dict[str, ExecutionPlan] = field(default_factory=dict)
 
-    def speedup_over_original(self, variant: str = "tdc-oracle") -> float:
-        return self.original / self._variant(variant)
+    # -- generic accessors -------------------------------------------------
 
-    def speedup_over_tucker_cudnn(self, variant: str = "tdc-oracle") -> float:
-        return self.tucker_cudnn / self._variant(variant)
-
-    def speedup_over_tucker_tvm(self, variant: str = "tdc-oracle") -> float:
-        return self.tucker_tvm / self._variant(variant)
-
-    def _variant(self, variant: str) -> float:
-        mapping = {
-            "original": self.original,
-            "cudnn": self.tucker_cudnn,
-            "tvm": self.tucker_tvm,
-            "tdc-oracle": self.tucker_tdc_oracle,
-            "tdc-model": self.tucker_tdc_model,
-        }
-        if variant not in mapping:
+    def latency(self, variant: str) -> float:
+        """Total latency of one variant (raises with the known names)."""
+        try:
+            return self.variants[variant]
+        except KeyError:
             raise ValueError(
-                f"unknown variant {variant!r}; expected one of {sorted(mapping)}"
-            )
-        return mapping[variant]
+                f"unknown variant {variant!r}; expected one of "
+                f"{sorted(self.variants)}"
+            ) from None
+
+    def backend_variants(self) -> Tuple[str, ...]:
+        """The compressed variants, in estimation order."""
+        return tuple(v for v in self.variants if v != ORIGINAL_VARIANT)
+
+    def speedup(self, baseline: str, variant: str) -> float:
+        """Latency ratio ``baseline / variant``."""
+        return self.latency(baseline) / self.latency(variant)
 
     def as_milliseconds(self) -> Dict[str, float]:
+        """All variants in milliseconds, under the historical key
+        spelling: ``original`` stays, a core backend ``x-y`` becomes
+        ``tucker_x_y`` (so the five legacy keys are unchanged)."""
         return {
-            "original": self.original * 1e3,
-            "tucker_cudnn": self.tucker_cudnn * 1e3,
-            "tucker_tvm": self.tucker_tvm * 1e3,
-            "tucker_tdc_oracle": self.tucker_tdc_oracle * 1e3,
-            "tucker_tdc_model": self.tucker_tdc_model * 1e3,
+            self._legacy_key(v): latency * 1e3
+            for v, latency in self.variants.items()
         }
+
+    @staticmethod
+    def _legacy_key(variant: str) -> str:
+        if variant == ORIGINAL_VARIANT:
+            return variant
+        return "tucker_" + variant.replace("-", "_")
+
+    # -- historical accessors (the five fixed bars) ------------------------
+
+    @property
+    def original(self) -> float:
+        return self.latency(ORIGINAL_VARIANT)
+
+    @property
+    def tucker_cudnn(self) -> float:
+        return self.latency("cudnn")
+
+    @property
+    def tucker_tvm(self) -> float:
+        return self.latency("tvm")
+
+    @property
+    def tucker_tdc_oracle(self) -> float:
+        return self.latency("tdc-oracle")
+
+    @property
+    def tucker_tdc_model(self) -> float:
+        return self.latency("tdc-model")
+
+    def speedup_over_original(self, variant: str = "tdc-oracle") -> float:
+        return self.speedup(ORIGINAL_VARIANT, variant)
+
+    def speedup_over_tucker_cudnn(self, variant: str = "tdc-oracle") -> float:
+        return self.speedup("cudnn", variant)
+
+    def speedup_over_tucker_tvm(self, variant: str = "tdc-oracle") -> float:
+        return self.speedup("tvm", variant)
 
 
 def estimate_e2e(
@@ -81,8 +150,15 @@ def estimate_e2e(
     theta: float = 0.15,
     rank_step: int = 32,
     rank_plan: Optional[RankPlan] = None,
+    backends: Optional[Sequence[str]] = None,
 ) -> E2EResult:
-    """Estimate all five end-to-end variants for a model spec."""
+    """Estimate the end-to-end variants for a model spec.
+
+    ``backends`` selects the compressed variants (default: the paper's
+    four); names are validated against the registry *before* any
+    planning work starts.
+    """
+    backends = resolve_backend_list(backends)
     if rank_plan is None:
         layers = layer_shapes_from_spec(spec)
         if not layers:
@@ -91,23 +167,23 @@ def estimate_e2e(
             layers, device, budget=budget, theta=theta, rank_step=rank_step,
         )
 
-    original = plan_dense_model(spec, device).total_latency()
-    variants = {}
-    for backend in ("cudnn", "tvm", "tdc-oracle", "tdc-model"):
-        variants[backend] = plan_tucker_model(
+    dense_plan = plan_dense_model(spec, device)
+    variants: Dict[str, float] = {ORIGINAL_VARIANT: dense_plan.total_latency()}
+    plans: Dict[str, ExecutionPlan] = {ORIGINAL_VARIANT: dense_plan}
+    for backend in backends:
+        plan = plan_tucker_model(
             spec, rank_plan, device, core_backend=backend
-        ).total_latency()
+        )
+        variants[backend] = plan.total_latency()
+        plans[backend] = plan
 
     return E2EResult(
         model_name=spec.name,
         device_name=device.name,
         budget=budget,
-        original=original,
-        tucker_cudnn=variants["cudnn"],
-        tucker_tvm=variants["tvm"],
-        tucker_tdc_oracle=variants["tdc-oracle"],
-        tucker_tdc_model=variants["tdc-model"],
+        variants=variants,
         rank_plan=rank_plan,
+        plans=plans,
     )
 
 
@@ -118,18 +194,21 @@ def estimate_e2e_many(
     theta: float = 0.15,
     rank_step: int = 32,
     workers: Optional[int] = None,
+    backends: Optional[Sequence[str]] = None,
 ) -> List[E2EResult]:
     """Batched end-to-end estimation over ``specs x devices x budgets``.
 
     One shared warm-up (via :func:`repro.planning.plan_many`) builds
     every performance table once — optionally across ``workers``
-    processes — and the *oracle* tilings for every planned core shape
-    are pre-selected the same way (the tdc-oracle backend's exhaustive
-    sweeps dominate the remaining cold cost).  Results are ordered
-    spec-major, then device, then budget.
+    processes — and every requested backend is warmed over the planned
+    core shapes through :func:`repro.planning.warm_backends` (the
+    tdc-oracle backend's exhaustive sweeps dominate the remaining cold
+    cost, and stay batched).  Results are ordered spec-major, then
+    device, then budget.
     """
-    from repro.planning.warmup import plan_key, plan_many, warm_tilings
+    from repro.planning.warmup import plan_key, plan_many, warm_backends
 
+    backends = resolve_backend_list(backends)
     specs = list(specs)
     devices = list(devices)
     budgets = list(budgets)
@@ -141,20 +220,20 @@ def estimate_e2e_many(
     # content fingerprint, and an O(plans x devices) linear rescan per
     # plan is pure waste on big sweeps.
     device_by_fp = {d.fingerprint(): d for d in devices}
-    oracle_pairs = []
+    core_pairs = []
     for (_, fp, _), plan in plans.items():
         device = device_by_fp[fp]
         for decision in plan.decisions:
             if decision.decomposed:
                 layer = decision.layer
-                oracle_pairs.append((
+                core_pairs.append((
                     ConvShape(
                         c=int(decision.d1), n=int(decision.d2),
                         h=layer.h, w=layer.w, r=layer.r, s=layer.s,
                     ),
                     device,
                 ))
-    warm_tilings(oracle_pairs, method="oracle", workers=workers)
+    warm_backends(core_pairs, backends, workers=workers)
 
     results: List[E2EResult] = []
     for spec in specs:
@@ -165,6 +244,7 @@ def estimate_e2e_many(
                         spec, device, budget=budget, theta=theta,
                         rank_step=rank_step,
                         rank_plan=plans[plan_key(spec, device, budget)],
+                        backends=backends,
                     )
                 )
     return results

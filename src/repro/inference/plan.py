@@ -8,9 +8,11 @@ simulated latencies.  Two builders cover the Figs. 8/9 configurations:
   chosen backend (cuDNN IMPLICIT_GEMM for the paper's baseline).
 - :func:`plan_tucker_model` — the TKD-compressed network under a
   :class:`~repro.codesign.rank_selection.RankPlan`; each decomposed
-  conv expands into 1x1 -> core -> 1x1 where the core backend is one of
-  ``tdc-model``, ``tdc-oracle``, ``tvm``, or ``cudnn`` (the four
-  compressed bars of the figures).
+  conv expands into 1x1 -> core -> 1x1 where the core backend is any
+  name in the :mod:`repro.backends` registry (``tdc-model``,
+  ``tdc-oracle``, ``tvm``, ``cudnn``, ...) or ``"auto"``, which picks
+  the fastest registered backend *per layer* and records its choice on
+  the planned kernel.
 """
 
 from __future__ import annotations
@@ -18,31 +20,34 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.backends import dispatch_core, get_backend, validate_backend
 from repro.codesign.rank_selection import RankPlan
 from repro.gpusim.device import DeviceSpec
 from repro.kernels.base import ConvShape
-from repro.kernels.cudnn import CuDNNGemmKernel
 from repro.kernels.pointwise import (
     batchnorm_relu_latency,
     fc_latency,
     pointwise_latency,
     pooling_latency,
 )
-from repro.kernels.tvm_direct import TVMDirectKernel
 from repro.models.arch_specs import LayerSpec, ModelSpec
-from repro.perfmodel.tiling import select_tiling
-from repro.kernels.tdc_direct import TDCDirectKernel
-
-CORE_BACKENDS = ("tdc-model", "tdc-oracle", "tvm", "cudnn")
 
 
 @dataclass(frozen=True)
 class PlannedKernel:
-    """One kernel invocation in an execution plan."""
+    """One kernel invocation in an execution plan.
+
+    ``backend`` and ``tiling`` record which registered backend (and
+    which tiling/config, when the backend exposes one) produced the
+    latency — for ``"core"`` kernels this is the dispatch decision,
+    which under ``auto`` varies per layer.
+    """
 
     layer: str
     kind: str          # "conv" | "pointwise" | "core" | "pool" | "fc" | "bn_relu"
     latency: float     # seconds, includes launch overhead
+    backend: Optional[str] = None
+    tiling: Optional[str] = None
 
 
 @dataclass
@@ -63,6 +68,18 @@ class ExecutionPlan:
             out[k.kind] = out.get(k.kind, 0.0) + k.latency
         return out
 
+    def backend_counts(self) -> Dict[str, int]:
+        """How many core convs each backend won (insertion order).
+
+        For a fixed-backend plan this is a single entry; under ``auto``
+        it summarizes the per-layer dispatch decisions.
+        """
+        out: Dict[str, int] = {}
+        for k in self.kernels:
+            if k.kind == "core" and k.backend is not None:
+                out[k.backend] = out.get(k.backend, 0) + 1
+        return out
+
     def n_kernels(self) -> int:
         return len(self.kernels)
 
@@ -79,24 +96,9 @@ def _dense_conv_latency(layer: LayerSpec, device: DeviceSpec) -> float:
         h=layer.out_height, w=layer.out_width,
         r=layer.kernel, s=layer.kernel,
     )
-    return CuDNNGemmKernel().latency(shape, device)
-
-
-def _core_conv_latency(
-    shape: ConvShape, device: DeviceSpec, backend: str
-) -> float:
-    """Core-conv latency under one of the four compressed backends."""
-    if backend == "tdc-model":
-        return select_tiling(shape, device, method="model").simulated_latency
-    if backend == "tdc-oracle":
-        return select_tiling(shape, device, method="oracle").simulated_latency
-    if backend == "tvm":
-        return TVMDirectKernel.tuned(shape, device).latency(shape, device)
-    if backend == "cudnn":
-        return CuDNNGemmKernel().latency(shape, device)
-    raise ValueError(
-        f"unknown core backend {backend!r}; expected one of {CORE_BACKENDS}"
-    )
+    # Dense layers run the paper's baseline kernel, resolved through
+    # the registry like every other latency lookup.
+    return get_backend("cudnn").core_latency(shape, device)
 
 
 def _aux_latency(layer: LayerSpec, device: DeviceSpec) -> Optional[PlannedKernel]:
@@ -160,8 +162,14 @@ def plan_tucker_model(
 
     Layers the plan decomposed run as three kernels; skipped layers and
     non-decomposable layers run dense.  The 1x1 stages always go
-    through cuDNN (the paper's fair-comparison setup).
+    through cuDNN (the paper's fair-comparison setup).  The core conv
+    goes through the registry: any registered backend name, or
+    ``"auto"`` to pick the fastest registered backend per layer (the
+    winner is recorded on each core :class:`PlannedKernel`).
     """
+    # Fail fast: an unknown backend raises here, with the registry's
+    # known names, not mid-plan at the first decomposed conv.
+    validate_backend(core_backend)
     decisions = {d.layer.name: d for d in rank_plan.decisions}
     plan = ExecutionPlan(
         model_name=spec.name, device_name=device.name,
@@ -185,10 +193,13 @@ def plan_tucker_model(
                     c=d1, n=d2, h=layer.out_height, w=layer.out_width,
                     r=layer.kernel, s=layer.kernel,
                 )
+                dispatch = dispatch_core(core_shape, device, core_backend)
                 plan.kernels.append(
                     PlannedKernel(
                         layer=f"{layer.name}.core", kind="core",
-                        latency=_core_conv_latency(core_shape, device, core_backend),
+                        latency=dispatch.latency,
+                        backend=dispatch.backend,
+                        tiling=dispatch.tiling,
                     )
                 )
                 plan.kernels.append(

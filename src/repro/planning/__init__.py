@@ -30,6 +30,7 @@ _WARMUP_EXPORTS = (
     "plan_key",
     "plan_many",
     "seed_from_table",
+    "warm_backends",
     "warm_tables",
     "warm_tilings",
 )

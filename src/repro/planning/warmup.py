@@ -241,6 +241,42 @@ def warm_tilings(
     return computed
 
 
+def warm_backends(
+    shapes_devices: Sequence[Tuple[ConvShape, DeviceSpec]],
+    backends: Sequence[str],
+    *,
+    workers: Optional[int] = None,
+) -> Dict[str, int]:
+    """Warm every requested kernel backend over (shape, device) pairs.
+
+    Each name is validated against the registry; ``"auto"`` expands to
+    *all* registered backends (auto dispatch evaluates every one of
+    them per core shape, so its warm-up must too).  Warming delegates
+    to each backend's ``warm`` hook: the TDC backends route through
+    :func:`warm_tilings` (batched sweeps, optional process-pool
+    fan-out), the rest batch per device.  Returns the number of
+    evaluations per backend name.
+    """
+    from repro.backends import (
+        AUTO_BACKEND,
+        backend_names,
+        get_backend,
+        validate_backend,
+    )
+
+    names: List[str] = []
+    for name in backends:
+        validate_backend(name)
+        expanded = backend_names() if name == AUTO_BACKEND else (name,)
+        for expanded_name in expanded:
+            if expanded_name not in names:
+                names.append(expanded_name)
+    return {
+        name: get_backend(name).warm(shapes_devices, workers=workers)
+        for name in names
+    }
+
+
 def plan_key(spec: ModelSpec, device: DeviceSpec, budget: float) -> PlanKey:
     """The :func:`plan_many` result key for one combination."""
     return (spec.fingerprint(), device.fingerprint(), budget)

@@ -20,6 +20,17 @@ class TestParser:
         )
         assert args.shape == [32, 32, 14, 14]
 
+    def test_e2e_backend_choices_follow_registry(self):
+        args = build_parser().parse_args(
+            ["e2e", "--backend", "auto", "tdc-oracle", "--models", "resnet18"]
+        )
+        assert args.backend == ["auto", "tdc-oracle"]
+        assert args.models == ["resnet18"]
+
+    def test_e2e_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["e2e", "--backend", "cutlass"])
+
 
 class TestCommands:
     def test_fig4(self, capsys):
@@ -40,6 +51,14 @@ class TestCommands:
     def test_unknown_device_raises(self):
         with pytest.raises(KeyError):
             main(["fig4", "--device", "h100"])
+
+    def test_backends_list(self, capsys):
+        from repro.backends import known_backend_names
+
+        assert main(["backends", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in known_backend_names():
+            assert name in out
 
 
 class TestReport:

@@ -2,16 +2,18 @@
 
 import pytest
 
+from repro.backends import backend_names
 from repro.codesign.pipeline import layer_shapes_from_spec
 from repro.codesign.rank_selection import select_ranks
 from repro.gpusim.device import A100
+from repro.inference import CORE_BACKENDS
 from repro.inference.engine import estimate_e2e
-from repro.inference.plan import (
-    CORE_BACKENDS,
-    plan_dense_model,
-    plan_tucker_model,
-)
+from repro.inference.plan import plan_dense_model, plan_tucker_model
 from repro.models.arch_specs import get_model_spec
+
+
+def test_paper_backends_are_registered():
+    assert set(CORE_BACKENDS) <= set(backend_names())
 
 
 @pytest.fixture(scope="module")
@@ -58,7 +60,7 @@ class TestTuckerPlan:
         pw = [k for k in plan.kernels if k.kind == "pointwise"]
         assert len(pw) >= 2 * len(decomposed)
 
-    @pytest.mark.parametrize("backend", CORE_BACKENDS)
+    @pytest.mark.parametrize("backend", backend_names())
     def test_all_backends_work(self, resnet18_setup, backend):
         spec, rank_plan = resnet18_setup
         plan = plan_tucker_model(spec, rank_plan, A100, core_backend=backend)
