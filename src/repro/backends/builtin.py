@@ -21,13 +21,14 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.backends.registry import KernelBackend, register_backend
 from repro.gpusim.device import DeviceSpec
-from repro.kernels.base import ConvShape
+from repro.kernels.base import ConvKernel, ConvShape
 from repro.kernels.cudnn import (
     CuDNNFFTKernel,
     CuDNNGemmKernel,
     CuDNNWinogradKernel,
 )
-from repro.kernels.tvm_direct import TVMDirectKernel
+from repro.kernels.tdc_direct import TDCDirectKernel
+from repro.kernels.tvm_direct import TVMDirectKernel, TVMTiling
 from repro.perfmodel.tiling import select_tiling, select_tilings
 from repro.planning.cache import PlanCache
 
@@ -50,6 +51,15 @@ class _TDCBackend(KernelBackend):
     def tiling(self, shape: ConvShape, device: DeviceSpec) -> Optional[str]:
         # Memoized: core_latency already cached this selection.
         return str(select_tiling(shape, device, method=self.method).tiling)
+
+    def kernel(
+        self,
+        shape: ConvShape,
+        device: DeviceSpec,
+        tiling: Optional[str] = None,
+    ) -> ConvKernel:
+        choice = select_tiling(shape, device, method=self.method)
+        return TDCDirectKernel(choice.tiling)
 
     def batch_latencies(
         self, shapes: Sequence[ConvShape], device: DeviceSpec
@@ -92,21 +102,29 @@ class TDCOracleBackend(_TDCBackend):
 # TVM tuning results, memoized in the planning-cache subsystem like
 # every other deterministic planner selection: bounded LRU, visible to
 # `cache stats`, dropped by `cache clear`, persisted by `cache warm`.
+# Payload v2 stores the winning tiling *structurally* so the compile
+# step can rebuild the tuned kernel from a (persisted) cache hit
+# without re-running the exhaustive sweep.
 _TVM_TUNING_CACHE = PlanCache(
     "tvm_tuning",
     maxsize=4096,
-    payload_version=1,
-    encode=lambda v: {"latency": v[0], "tiling": v[1]},
-    decode=lambda doc: (float(doc["latency"]), str(doc["tiling"])),
+    payload_version=2,
+    encode=lambda v: {
+        "latency": v[0], "th": v[1].th, "tw": v[1].tw, "tn": v[1].tn,
+    },
+    decode=lambda doc: (
+        float(doc["latency"]),
+        TVMTiling(int(doc["th"]), int(doc["tw"]), int(doc["tn"])),
+    ),
 )
 
 
-def _tvm_tune_job(args: tuple) -> Tuple[float, str]:
+def _tvm_tune_job(args: tuple) -> Tuple[float, TVMTiling]:
     """Tune one shape uncached; module-level so a process pool can
     pickle it (the parallel warm-up path)."""
     shape, device = args
     kernel = TVMDirectKernel.tuned(shape, device)
-    return (kernel.latency(shape, device), str(kernel.tiling))
+    return (kernel.latency(shape, device), kernel.tiling)
 
 
 @register_backend
@@ -120,7 +138,9 @@ class TVMBackend(KernelBackend):
     def _key(shape: ConvShape, device: DeviceSpec) -> tuple:
         return shape.as_tuple() + (device.fingerprint(),)
 
-    def _tune(self, shape: ConvShape, device: DeviceSpec) -> Tuple[float, str]:
+    def _tune(
+        self, shape: ConvShape, device: DeviceSpec
+    ) -> Tuple[float, TVMTiling]:
         # Tuning sweeps ~400 candidates; planned models repeat shapes.
         return _TVM_TUNING_CACHE.get_or_build(
             self._key(shape, device), lambda: _tvm_tune_job((shape, device))
@@ -155,7 +175,15 @@ class TVMBackend(KernelBackend):
         return self._tune(shape, device)[0]
 
     def tiling(self, shape: ConvShape, device: DeviceSpec) -> Optional[str]:
-        return self._tune(shape, device)[1]
+        return str(self._tune(shape, device)[1])
+
+    def kernel(
+        self,
+        shape: ConvShape,
+        device: DeviceSpec,
+        tiling: Optional[str] = None,
+    ) -> ConvKernel:
+        return TVMDirectKernel(self._tune(shape, device)[1])
 
 
 class _StatelessBackend(KernelBackend):
@@ -180,6 +208,14 @@ class CuDNNGemmBackend(_StatelessBackend):
     def core_latency(self, shape: ConvShape, device: DeviceSpec) -> float:
         return CuDNNGemmKernel().latency(shape, device)
 
+    def kernel(
+        self,
+        shape: ConvShape,
+        device: DeviceSpec,
+        tiling: Optional[str] = None,
+    ) -> ConvKernel:
+        return CuDNNGemmKernel()
+
 
 @register_backend
 class CuDNNWinogradBackend(_StatelessBackend):
@@ -194,6 +230,14 @@ class CuDNNWinogradBackend(_StatelessBackend):
     def core_latency(self, shape: ConvShape, device: DeviceSpec) -> float:
         return CuDNNWinogradKernel().latency(shape, device)
 
+    def kernel(
+        self,
+        shape: ConvShape,
+        device: DeviceSpec,
+        tiling: Optional[str] = None,
+    ) -> ConvKernel:
+        return CuDNNWinogradKernel()
+
 
 @register_backend
 class CuDNNFFTBackend(_StatelessBackend):
@@ -204,3 +248,11 @@ class CuDNNFFTBackend(_StatelessBackend):
 
     def core_latency(self, shape: ConvShape, device: DeviceSpec) -> float:
         return CuDNNFFTKernel().latency(shape, device)
+
+    def kernel(
+        self,
+        shape: ConvShape,
+        device: DeviceSpec,
+        tiling: Optional[str] = None,
+    ) -> ConvKernel:
+        return CuDNNFFTKernel()

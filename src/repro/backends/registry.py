@@ -21,6 +21,10 @@ A backend provides:
 - ``tiling(shape, device)`` — optional human-readable description of
   the tiling/config that produced the latency (recorded per kernel on
   the execution plan);
+- ``kernel(shape, device, tiling=)`` — materialize the concrete
+  :class:`~repro.kernels.base.ConvKernel` behind ``core_latency`` so
+  the compile step (:func:`repro.inference.compile_plan`) can bind a
+  planned core conv to a numerically runnable kernel;
 - ``batch_latencies(shapes, device)`` — optional vectorized path for
   many shapes at once (the TDC backends ride the batched tiling
   selectors of :mod:`repro.perfmodel.tiling`);
@@ -42,7 +46,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type, Union
 
 from repro.gpusim.device import DeviceSpec
-from repro.kernels.base import ConvShape
+from repro.kernels.base import ConvKernel, ConvShape
 
 #: Name of the per-layer fastest-registered-backend dispatcher.  Valid
 #: anywhere a backend name is accepted, but never stored in the
@@ -80,6 +84,28 @@ class KernelBackend:
     def tiling(self, shape: ConvShape, device: DeviceSpec) -> Optional[str]:
         """Description of the tiling/config behind ``core_latency``."""
         return None
+
+    def kernel(
+        self,
+        shape: ConvShape,
+        device: DeviceSpec,
+        tiling: Optional[str] = None,
+    ) -> ConvKernel:
+        """Materialize the :class:`ConvKernel` behind ``core_latency``.
+
+        Called once per core conv at *compile* time; the returned
+        kernel's ``run``/``run_into`` must execute the same scheme (and
+        the same tiling/config) whose latency this backend reported for
+        ``shape`` on ``device``.  ``tiling`` is the description a prior
+        dispatch recorded on the plan — informational, since backends
+        re-derive their configuration deterministically (memoized).
+        Backends that model a scheme without a numeric execution path
+        must raise ``NotImplementedError`` so compilation fails fast.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not materialize numeric kernels; "
+            f"override KernelBackend.kernel() to make it compilable"
+        )
 
     def batch_latencies(
         self, shapes: Sequence[ConvShape], device: DeviceSpec

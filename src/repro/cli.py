@@ -5,6 +5,9 @@ Usage:
     python -m repro.cli fig6 --device 2080Ti
     python -m repro.cli e2e --device A100
     python -m repro.cli e2e --models resnet18 --backend auto tdc-oracle
+    python -m repro.cli e2e --measure
+    python -m repro.cli run --model resnet_tiny --backend auto
+    python -m repro.cli serve --model resnet_tiny --requests 64
     python -m repro.cli backends list
     python -m repro.cli oracle-gap --device A100
     python -m repro.cli ablations --device A100
@@ -56,6 +59,49 @@ def build_parser() -> argparse.ArgumentParser:
              f"known: {', '.join(known_backend_names())}; default: the "
              "paper's four compressed variants)",
     )
+    e2e.add_argument(
+        "--measure", action="store_true",
+        help="also compile the tiny trainable presets and report "
+             "measured (numeric CPU) vs predicted (simulated) wall time "
+             "per variant",
+    )
+
+    run_p = sub.add_parser(
+        "run", help="compile a trainable preset and execute it"
+    )
+    _add_device(run_p)
+    run_p.add_argument("--model", default="resnet_tiny",
+                       help="trainable model preset (default %(default)s)")
+    run_p.add_argument("--backend", default="auto",
+                       choices=known_backend_names(), metavar="BACKEND",
+                       help="core-conv backend (default %(default)s)")
+    run_p.add_argument("--image-size", type=int, default=8)
+    run_p.add_argument("--batch", type=int, default=4)
+    run_p.add_argument("--budget", type=float, default=0.5,
+                       help="FLOPs-reduction budget for decomposition")
+    run_p.add_argument("--no-decompose", action="store_true",
+                       help="compile the dense model without Tucker "
+                            "decomposition")
+
+    serve_p = sub.add_parser(
+        "serve", help="deploy a micro-batching inference session"
+    )
+    _add_device(serve_p)
+    serve_p.add_argument("--model", default="resnet_tiny",
+                         help="trainable model preset (default %(default)s)")
+    serve_p.add_argument("--backend", default="auto",
+                         choices=known_backend_names(), metavar="BACKEND")
+    serve_p.add_argument("--image-size", type=int, default=8)
+    serve_p.add_argument("--requests", type=int, default=64,
+                         help="synthetic requests to serve (default "
+                              "%(default)s)")
+    serve_p.add_argument("--clients", type=int, default=4,
+                         help="concurrent client threads (default "
+                              "%(default)s)")
+    serve_p.add_argument("--max-batch", type=int, default=8)
+    serve_p.add_argument("--window-ms", type=float, default=2.0,
+                         help="micro-batching window (default %(default)s)")
+    serve_p.add_argument("--budget", type=float, default=0.5)
 
     backends = sub.add_parser("backends", help="kernel-backend registry")
     backends_sub = backends.add_subparsers(dest="backends_command",
@@ -182,6 +228,134 @@ def _run_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_compiled(args: argparse.Namespace) -> int:
+    """`repro run`: plan -> compile -> execute one trainable preset."""
+    import time
+
+    import numpy as np
+
+    from repro.codesign.pipeline import decompose_for_device
+    from repro.inference.executable import compile_model
+    from repro.models.registry import build_model
+    from repro.utils.tables import Table
+
+    device = get_device(args.device)
+    hw = (args.image_size, args.image_size)
+    model = build_model(args.model, seed=0)
+    if not args.no_decompose:
+        try:
+            _, rank_plan, rank_map = decompose_for_device(
+                model, device, hw, budget=args.budget, rank_step=2,
+            )
+        except ValueError as exc:
+            print(f"note: running dense ({exc})")
+        else:
+            print(f"decomposed {len(rank_map)} conv(s): "
+                  + ", ".join(f"{k}->{v}" for k, v in rank_map.items()))
+    model.eval()
+    t0 = time.perf_counter()
+    exe = compile_model(
+        model, device, image_hw=hw, core_backend=args.backend,
+        max_batch=args.batch, model_name=args.model,
+    )
+    compile_wall = time.perf_counter() - t0
+    x = np.random.default_rng(0).standard_normal(
+        (args.batch, 3, args.image_size, args.image_size)
+    )
+    wall = exe.measure(x, repeats=3)
+    ref = exe.run(x)
+
+    table = Table(["metric", "value"], title=f"repro run: {exe!r}")
+    table.add_row(["cold compile wall (ms)", compile_wall * 1e3])
+    table.add_row(["bound conv sites", len(exe.sites())])
+    table.add_row(["core dispatch", str(exe.backend_counts() or "-")])
+    table.add_row(["arena buffers", exe.arena.n_buffers])
+    table.add_row(["arena size (kB)", exe.arena.nbytes / 1e3])
+    table.add_row(["predicted latency (ms)", exe.predicted_latency() * 1e3])
+    table.add_row([f"measured wall, batch {args.batch} (ms)", wall * 1e3])
+    table.add_row(["output shape", str(ref.shape)])
+    print(table.render())
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """`repro serve`: deploy a session and push synthetic traffic."""
+    import threading
+    import time
+
+    import numpy as np
+
+    from repro.serving import SessionRegistry
+    from repro.utils.tables import Table
+
+    device = get_device(args.device)
+    hw = (args.image_size, args.image_size)
+    registry = SessionRegistry()
+    t0 = time.perf_counter()
+    try:
+        session = registry.create(
+            args.model, device, backend=args.backend, image_hw=hw,
+            budget=args.budget, max_batch=args.max_batch,
+            batch_window_s=args.window_ms * 1e-3,
+        )
+    except ValueError as exc:
+        # Rank selection can legitimately decompose nothing (θ rule /
+        # tight budget); serve the dense model instead of refusing.
+        print(f"note: serving dense ({exc})")
+        session = registry.create(
+            args.model, device, backend=args.backend, image_hw=hw,
+            decompose=False, max_batch=args.max_batch,
+            batch_window_s=args.window_ms * 1e-3,
+        )
+    deploy_wall = time.perf_counter() - t0
+
+    rng = np.random.default_rng(0)
+    n_clients = max(1, args.clients)
+    # Distribute every requested sample (remainder goes to the first
+    # clients) — no request is silently dropped.
+    shares = [
+        args.requests // n_clients + (1 if i < args.requests % n_clients else 0)
+        for i in range(n_clients)
+    ]
+    xs = [
+        rng.standard_normal((share, 3, args.image_size, args.image_size))
+        for share in shares
+    ]
+
+    def client(i: int) -> None:
+        for x in xs[i]:
+            session.infer(x, timeout=60.0)
+
+    t0 = time.perf_counter()
+    threads = [
+        threading.Thread(target=client, args=(i,))
+        for i in range(n_clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    serve_wall = time.perf_counter() - t0
+    stats = session.stats()
+    registry.close_all()
+
+    table = Table(
+        ["metric", "value"],
+        title=f"repro serve: {args.model} on {device.name} "
+              f"({args.backend})",
+    )
+    table.add_row(["deploy wall (s)", deploy_wall])
+    table.add_row(["requests served", stats.requests])
+    table.add_row(["throughput (req/s)", stats.requests / serve_wall])
+    table.add_row(["micro-batches", stats.batches])
+    table.add_row(["mean batch size", stats.mean_batch_size])
+    table.add_row(["batch histogram", str(stats.batch_histogram)])
+    table.add_row(["mean request latency (ms)", stats.mean_latency_s * 1e3])
+    table.add_row(["p95 request latency (ms)", stats.p95_latency_s * 1e3])
+    print(table.render())
+    return 0
+
+
 def _run_backends(args: argparse.Namespace) -> int:
     from repro.backends import AUTO_BACKEND, registered_backends
     from repro.utils.tables import Table
@@ -229,6 +403,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         if auto_table is not None:
             print()
             print(auto_table.render())
+        if args.measure:
+            print()
+            print(e2e.measured_vs_predicted(
+                device, backends=args.backend
+            ).render())
+    elif args.command == "run":
+        return _run_compiled(args)
+    elif args.command == "serve":
+        return _run_serve(args)
     elif args.command == "backends":
         return _run_backends(args)
     elif args.command == "oracle-gap":

@@ -19,6 +19,7 @@ from repro.codesign.flops import (
 )
 from repro.codesign.pipeline import (
     TDCPipelineResult,
+    decompose_for_device,
     layer_shapes_from_sites,
     layer_shapes_from_spec,
     run_tdc_pipeline,
@@ -54,6 +55,7 @@ __all__ = [
     "tucker_flops",
     "tucker_params",
     "TDCPipelineResult",
+    "decompose_for_device",
     "layer_shapes_from_sites",
     "layer_shapes_from_spec",
     "run_tdc_pipeline",

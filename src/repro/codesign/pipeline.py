@@ -68,6 +68,50 @@ def layer_shapes_from_spec(
     return shapes
 
 
+def decompose_for_device(
+    model: Module,
+    device: DeviceSpec,
+    image_hw: Tuple[int, int],
+    in_channels: int = 3,
+    budget: float = 0.6,
+    theta: float = 0.15,
+    rank_step: int = 4,
+    method: str = "model",
+    min_channels: int = 1,
+    n_iter: int = 10,
+) -> Tuple[Module, RankPlan, Dict[str, Tuple[int, int]]]:
+    """Hardware-aware decomposition without the training phases.
+
+    Runs Algorithm 1's rank selection against the device and
+    hard-decomposes the chosen convs in place (HOOI, no ADMM and no
+    fine-tuning) — the entry the serving/compile path uses to produce
+    a Tucker-format model whose ranks match the device.  Returns
+    ``(model, rank_plan, rank_map)``; raises when the model has no
+    decomposable convs or the plan decomposes nothing.
+    """
+    sites = trace_conv_sites(
+        model, image_hw, in_channels=in_channels, min_channels=min_channels,
+    )
+    if not sites:
+        raise ValueError("model has no decomposable conv layers")
+    plan = select_ranks(
+        layer_shapes_from_sites(sites), device,
+        budget=budget, theta=theta, rank_step=rank_step, method=method,
+    )
+    rank_map: Dict[str, Tuple[int, int]] = {
+        d.layer.name: (int(d.d2), int(d.d1))
+        for d in plan.decisions
+        if d.decomposed
+    }
+    if not rank_map:
+        raise ValueError(
+            "rank selection decomposed no layers — budget too small or "
+            "θ rule skipped everything"
+        )
+    decompose_model(model, rank_map, n_iter=n_iter)
+    return model, plan, rank_map
+
+
 @dataclass
 class TDCPipelineResult:
     """Everything the pipeline produced."""

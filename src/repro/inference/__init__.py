@@ -1,4 +1,11 @@
-"""Inference execution plans and end-to-end latency estimation."""
+"""Inference: execution plans, the compile/execute split, and
+end-to-end latency estimation.
+
+Pipeline: ``plan_model``/``plan_tucker_model`` decide (cold) →
+``compile_plan`` binds kernels/weights/buffers into an ``Executable``
+(cold) → ``Executable.run`` executes numeric forwards (hot) →
+:mod:`repro.serving` queues requests on top.
+"""
 
 from repro.backends import PAPER_CORE_BACKENDS
 from repro.inference.engine import (
@@ -8,10 +15,19 @@ from repro.inference.engine import (
     estimate_e2e_many,
     resolve_backend_list,
 )
+from repro.inference.executable import (
+    BufferArena,
+    CompiledConv2d,
+    CompiledTuckerConv2d,
+    Executable,
+    compile_model,
+    compile_plan,
+)
 from repro.inference.plan import (
     ExecutionPlan,
     PlannedKernel,
     plan_dense_model,
+    plan_model,
     plan_tucker_model,
 )
 
@@ -20,15 +36,22 @@ from repro.inference.plan import (
 CORE_BACKENDS = PAPER_CORE_BACKENDS
 
 __all__ = [
+    "BufferArena",
     "CORE_BACKENDS",
+    "CompiledConv2d",
+    "CompiledTuckerConv2d",
     "E2EResult",
+    "Executable",
     "ExecutionPlan",
     "ORIGINAL_VARIANT",
     "PAPER_CORE_BACKENDS",
     "PlannedKernel",
+    "compile_model",
+    "compile_plan",
     "estimate_e2e",
     "estimate_e2e_many",
     "plan_dense_model",
+    "plan_model",
     "plan_tucker_model",
     "resolve_backend_list",
 ]

@@ -1,0 +1,551 @@
+"""The compile half of the compile/execute split.
+
+An :class:`~repro.inference.plan.ExecutionPlan` records *decisions*
+(which backend, which tiling, what latency) but cannot run.
+:func:`compile_plan` turns a plan plus a trainable model into an
+:class:`Executable` — the repro-side analogue of the paper's generated
+inference program after ``nvcc``:
+
+- every planned ``core``/``conv`` kernel is bound to the concrete
+  :class:`~repro.kernels.base.ConvKernel` its backend materializes
+  (``KernelBackend.kernel``), with the plan's dispatch decision
+  honored per layer;
+- the model's core/factor weights are exported into the executable
+  (contiguous, in the execution dtype), so later mutation of the
+  source model cannot leak into a compiled artifact;
+- all activation and scratch buffers are preallocated in a
+  :class:`BufferArena`, so the hot path performs zero per-request
+  ``np.zeros``/``np.empty``/``np.pad`` allocation — buffers are reused
+  across requests, which the test suite asserts by identity.
+
+Strided/padded layers run through their same-convolution kernels by
+executing at the padded input extent and subsampling the output — the
+kernel computes a superset of the needed positions (halo overcompute,
+like the real TDC kernel) while numerics match ``Module.forward``
+exactly up to float tolerance.
+
+``Executable.run`` is single-threaded by design (one arena, one
+in-flight request); :mod:`repro.serving` serializes concurrent callers
+through a micro-batching queue on top.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends import get_backend
+from repro.gpusim.device import DeviceSpec
+from repro.inference.plan import ExecutionPlan, PlannedKernel, plan_model
+from repro.kernels.base import ConvKernel, ConvShape
+from repro.models.introspection import (
+    LayerSite,
+    find_module,
+    replace_module,
+    trace_layer_sites,
+)
+from repro.nn.conv import Conv2d
+from repro.nn.functional import conv_out_size
+from repro.nn.module import Module
+from repro.nn.tucker_conv import TuckerConv2d
+
+#: Plan kernel kinds that bind to a model conv site.
+_CONV_KINDS = ("conv", "pointwise", "core")
+
+
+class BufferArena:
+    """Named pool of preallocated ndarrays (activations + scratch).
+
+    All buffers are zero-initialized once at compile time; hot-path
+    code only ever writes interiors (padding borders stay zero), so a
+    steady-state request allocates nothing.
+    """
+
+    def __init__(self, dtype: np.dtype = np.dtype(np.float64)) -> None:
+        self.dtype = np.dtype(dtype)
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def allocate(self, name: str, shape: Tuple[int, ...]) -> np.ndarray:
+        """Allocate (zeroed) and register one buffer; names are unique."""
+        if name in self._buffers:
+            raise ValueError(f"arena buffer {name!r} already allocated")
+        buf = np.zeros(shape, dtype=self.dtype)
+        self._buffers[name] = buf
+        return buf
+
+    def adopt(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Register an externally allocated buffer (kernel scratch)."""
+        if name in self._buffers:
+            raise ValueError(f"arena buffer {name!r} already allocated")
+        self._buffers[name] = array
+        return array
+
+    def get(self, name: str) -> np.ndarray:
+        return self._buffers[name]
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._buffers)
+
+    @property
+    def n_buffers(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._buffers.values())
+
+
+def _strided_rows(
+    extent: int, kernel: int, stride: int, padding: int
+) -> Tuple[slice, int]:
+    """Slice selecting the strided conv outputs from a same-conv result
+    computed at the padded extent, plus the output size."""
+    out = conv_out_size(extent, kernel, stride, padding)
+    start = (kernel - 1) // 2
+    return slice(start, start + (out - 1) * stride + 1, stride), out
+
+
+class _CompiledSite(Module):
+    """Base for compiled conv sites: inference-only bound kernels."""
+
+    def __init__(self, name: str, max_batch: int) -> None:
+        super().__init__()
+        self.site_name = name
+        self.max_batch = int(max_batch)
+
+    def _check_batch(self, x: np.ndarray) -> int:
+        b = x.shape[0]
+        if b > self.max_batch:
+            raise ValueError(
+                f"batch {b} exceeds the compiled max_batch "
+                f"{self.max_batch} at site {self.site_name!r}; recompile "
+                f"with a larger max_batch or split the request"
+            )
+        return b
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise RuntimeError(
+            f"compiled site {self.site_name!r} is inference-only; "
+            f"train on the source model and recompile"
+        )
+
+
+class CompiledConv2d(_CompiledSite):
+    """A dense conv site bound to a baseline kernel and arena buffers."""
+
+    def __init__(
+        self,
+        site: LayerSite,
+        kernel: Optional[ConvKernel],
+        arena: BufferArena,
+        max_batch: int,
+    ) -> None:
+        super().__init__(site.name, max_batch)
+        mod = site.module
+        assert isinstance(mod, Conv2d)
+        dtype = arena.dtype
+        self.kernel_size = mod.kernel_size
+        self.stride = mod.stride
+        self.padding = mod.padding
+        self.weight = np.ascontiguousarray(mod.weight.data, dtype=dtype)
+        self.bias = (
+            np.ascontiguousarray(mod.bias.data, dtype=dtype)
+            if mod.bias is not None else None
+        )
+        h, w = site.height, site.width
+        c, n = mod.in_channels, mod.out_channels
+        k, p = mod.kernel_size, mod.padding
+        self._rows, oh = _strided_rows(h, k, self.stride, p)
+        self._cols, ow = _strided_rows(w, k, self.stride, p)
+        self.kernel = kernel
+        self.out = arena.allocate(f"{site.name}.out", (max_batch, n, oh, ow))
+        if k == 1:
+            # Pointwise path: a strided-view GEMM, no staging needed
+            # unless the (unusual) padded 1x1 case stages into xpad.
+            self.xpad = (
+                arena.allocate(
+                    f"{site.name}.xpad",
+                    (max_batch, c, h + 2 * p, w + 2 * p),
+                )
+                if p > 0 else None
+            )
+            self.ysame = None
+            self.scratch = None
+        else:
+            hp, wp = h + 2 * p, w + 2 * p
+            self.xpad = arena.allocate(
+                f"{site.name}.xpad", (max_batch, c, hp, wp)
+            )
+            self.ysame = arena.allocate(
+                f"{site.name}.ysame", (max_batch, n, hp, wp)
+            )
+            exec_shape = ConvShape(
+                c=c, n=n, h=hp, w=wp, r=k, s=k
+            )
+            assert kernel is not None
+            scratch = kernel.allocate_scratch(exec_shape, dtype=dtype)
+            for sname, buf in scratch.items():
+                arena.adopt(f"{site.name}.scratch.{sname}", buf)
+            self.scratch = scratch
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        b = self._check_batch(x)
+        out = self.out[:b]
+        p = self.padding
+        if self.kernel_size == 1:
+            if self.xpad is None:
+                src = x[:, :, self._rows, self._cols]
+            else:
+                xpad = self.xpad[:b]
+                xpad[:, :, p : p + x.shape[2], p : p + x.shape[3]] = x
+                src = xpad[:, :, self._rows, self._cols]
+            np.einsum(
+                "nc,bchw->bnhw", self.weight[:, :, 0, 0], src,
+                out=out, optimize=True,
+            )
+        else:
+            xpad = self.xpad[:b]
+            xpad[:, :, p : p + x.shape[2], p : p + x.shape[3]] = x
+            ysame = self.ysame[:b]
+            for i in range(b):
+                self.kernel.run_into(
+                    xpad[i], self.weight, ysame[i], self.scratch
+                )
+            out[...] = ysame[:, :, self._rows, self._cols]
+        if self.bias is not None:
+            out += self.bias[None, :, None, None]
+        return out
+
+
+class CompiledTuckerConv2d(_CompiledSite):
+    """A Tucker-format site: 1x1 projection -> dispatched core kernel
+    -> 1x1 projection, all through arena buffers (Eqs. 2-4)."""
+
+    def __init__(
+        self,
+        site: LayerSite,
+        kernel: ConvKernel,
+        backend: str,
+        arena: BufferArena,
+        max_batch: int,
+    ) -> None:
+        super().__init__(site.name, max_batch)
+        mod = site.module
+        assert isinstance(mod, TuckerConv2d)
+        dtype = arena.dtype
+        weights = mod.export_weights(dtype=dtype)
+        self.w_in = weights["w_in"]        # (D1, C)
+        self.core = weights["core"]        # (D2, D1, R, S)
+        self.w_out = weights["w_out"]      # (N, D2)
+        self.bias = weights["bias"]        # (N,) or None
+        self.backend = backend
+        self.kernel = kernel
+        self.stride = mod.stride
+        self.padding = mod.padding
+        h, w = site.height, site.width
+        k, p = mod.kernel_size, mod.padding
+        d1, d2 = mod.rank_in, mod.rank_out
+        self._rows, oh = _strided_rows(h, k, self.stride, p)
+        self._cols, ow = _strided_rows(w, k, self.stride, p)
+        self._interior = (slice(p, p + h), slice(p, p + w))
+        hp, wp = h + 2 * p, w + 2 * p
+        self.z1pad = arena.allocate(
+            f"{site.name}.z1pad", (max_batch, d1, hp, wp)
+        )
+        self.ysame = arena.allocate(
+            f"{site.name}.ysame", (max_batch, d2, hp, wp)
+        )
+        self.z2 = arena.allocate(f"{site.name}.z2", (max_batch, d2, oh, ow))
+        self.out = arena.allocate(
+            f"{site.name}.out", (max_batch, mod.out_channels, oh, ow)
+        )
+        exec_shape = ConvShape(c=d1, n=d2, h=hp, w=wp, r=k, s=k)
+        scratch = kernel.allocate_scratch(exec_shape, dtype=dtype)
+        for sname, buf in scratch.items():
+            arena.adopt(f"{site.name}.scratch.{sname}", buf)
+        self.scratch = scratch
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        b = self._check_batch(x)
+        ri, ci = self._interior
+        z1 = self.z1pad[:b, :, ri, ci]
+        # Stage 1 (Eq. 2): first-mode projection, written straight into
+        # the padded core input (the border stays zero).
+        np.einsum("dc,bchw->bdhw", self.w_in, x, out=z1, optimize=True)
+        # Stage 2 (Eq. 3): the dispatched core kernel, per sample.
+        ysame = self.ysame[:b]
+        for i in range(b):
+            self.kernel.run_into(
+                self.z1pad[i], self.core, ysame[i], self.scratch
+            )
+        z2 = self.z2[:b]
+        z2[...] = ysame[:, :, self._rows, self._cols]
+        # Stage 3 (Eq. 4): last-mode projection plus bias.
+        out = self.out[:b]
+        np.einsum("nd,bdhw->bnhw", self.w_out, z2, out=out, optimize=True)
+        if self.bias is not None:
+            out += self.bias[None, :, None, None]
+        return out
+
+
+class Executable:
+    """A runnable, self-contained compilation of (plan, model, device).
+
+    Produced by :func:`compile_plan`; executes real numeric forward
+    passes through the bound kernels and the model's auxiliary modules
+    (batch-norm in eval mode, activations, pooling, residual/concat
+    topology).  Not thread-safe — one arena means one in-flight
+    request; see :class:`repro.serving.InferenceSession` for
+    concurrency.
+    """
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        device: DeviceSpec,
+        model: Module,
+        arena: BufferArena,
+        sites: Sequence[_CompiledSite],
+        input_shape: Tuple[int, int, int],
+        max_batch: int,
+    ) -> None:
+        self.plan = plan
+        self.device = device
+        self.model_name = plan.model_name
+        self.arena = arena
+        self.input_shape = tuple(input_shape)
+        self.max_batch = int(max_batch)
+        self._model = model
+        self._sites = list(sites)
+        self.requests_served = 0
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.arena.dtype
+
+    def sites(self) -> List[_CompiledSite]:
+        return list(self._sites)
+
+    def backend_counts(self) -> Dict[str, int]:
+        """Core-conv backend wins recorded on the compiled plan."""
+        return self.plan.backend_counts()
+
+    def predicted_latency(self) -> float:
+        """The plan's simulated per-request latency (seconds)."""
+        return self.plan.total_latency()
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Execute one request: ``(B, C, H, W)`` (or ``(C, H, W)``).
+
+        Numerically equivalent to ``model.eval().forward(x)`` on the
+        source model; the batch must not exceed ``max_batch``.
+        """
+        x = np.asarray(x)
+        if x.ndim == 3:
+            x = x[None]
+        if x.ndim != 4 or x.shape[1:] != self.input_shape:
+            raise ValueError(
+                f"expected input (B, {', '.join(map(str, self.input_shape))})"
+                f" with B <= {self.max_batch}, got {x.shape}"
+            )
+        if x.shape[0] > self.max_batch:
+            raise ValueError(
+                f"batch {x.shape[0]} exceeds compiled max_batch "
+                f"{self.max_batch}; recompile with a larger max_batch or "
+                f"let an InferenceSession micro-batch the requests"
+            )
+        if x.dtype != self.dtype:
+            x = x.astype(self.dtype)  # cold path; hot callers pass dtype
+        y = self._model.forward(x)
+        self.requests_served += 1
+        return y
+
+    def measure(
+        self, x: np.ndarray, repeats: int = 3, warmup: int = 1
+    ) -> float:
+        """Best-of-``repeats`` wall-clock seconds for one ``run(x)``."""
+        for _ in range(warmup):
+            self.run(x)
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            self.run(x)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Executable({self.model_name!r} on {self.device.name}, "
+            f"{len(self._sites)} bound sites, max_batch={self.max_batch}, "
+            f"arena {self.arena.nbytes / 1e6:.1f} MB)"
+        )
+
+
+def _index_plan(
+    plan: ExecutionPlan, site_names: Sequence[str]
+) -> Tuple[Dict[str, PlannedKernel], Dict[str, PlannedKernel]]:
+    """Split the plan's conv kernels into per-site core and dense maps.
+
+    Raises when a conv-kind kernel does not bind to any traced site —
+    the symptom of pairing a plan with the wrong model (or a
+    spec-built plan with a trainable model).
+    """
+    names = set(site_names)
+    cores: Dict[str, PlannedKernel] = {}
+    dense: Dict[str, PlannedKernel] = {}
+    unbound: List[str] = []
+    for k in plan.kernels:
+        if k.kind not in _CONV_KINDS:
+            continue  # aux kinds execute through the model's own modules
+        if k.kind == "core":
+            site = k.layer[: -len(".core")]
+            if site in names:
+                cores[site] = k
+            else:
+                unbound.append(k.layer)
+        elif k.layer.endswith(".pw1") or k.layer.endswith(".pw2"):
+            site = k.layer[:-4]
+            if site not in names:
+                unbound.append(k.layer)
+        elif k.layer in names:
+            dense[k.layer] = k
+        else:
+            unbound.append(k.layer)
+    if unbound:
+        raise ValueError(
+            f"plan kernels {sorted(unbound)[:8]} do not bind to any conv "
+            f"site of the model ({sorted(names)[:8]}...); compile_plan "
+            f"needs a plan built by plan_model for this exact model"
+        )
+    return cores, dense
+
+
+def compile_plan(
+    plan: ExecutionPlan,
+    model: Module,
+    device: DeviceSpec,
+    *,
+    image_hw: Tuple[int, int] = (32, 32),
+    in_channels: int = 3,
+    max_batch: int = 1,
+    dtype: np.dtype = np.dtype(np.float64),
+    sites: Optional[Sequence[LayerSite]] = None,
+) -> Executable:
+    """Bind an execution plan to a trainable model: the compile step.
+
+    Traces the model's conv sites, validates that the plan covers each
+    of them, materializes every core's :class:`ConvKernel` through its
+    planned backend, exports the weights, and preallocates the buffer
+    arena.  The model itself is deep-copied (and switched to eval
+    mode) with each conv site replaced by its compiled form, so
+    auxiliary topology — residual adds, dense concatenation, pooling,
+    batch-norm — executes through the model's own modules.
+
+    ``sites`` takes a pre-traced inventory (same ``image_hw`` and
+    ``in_channels``) so planning and compilation can share one traced
+    forward pass.
+    """
+    if sites is None:
+        sites = trace_layer_sites(model, image_hw, in_channels=in_channels)
+    else:
+        sites = list(sites)
+    if not sites:
+        raise ValueError(
+            f"model {type(model).__name__} has no conv sites reachable "
+            f"from a ({in_channels}, {image_hw[0]}, {image_hw[1]}) input; "
+            f"nothing to compile"
+        )
+    if max_batch < 1:
+        raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+    cores, dense = _index_plan(plan, [s.name for s in sites])
+
+    missing = []
+    for site in sites:
+        if site.is_tucker and site.name not in cores:
+            missing.append(f"{site.name}.core")
+        elif not site.is_tucker and site.name not in dense:
+            missing.append(site.name)
+    if missing:
+        raise ValueError(
+            f"plan does not cover conv sites {missing[:8]}; was it built "
+            f"by plan_model for this model (same decomposition state)?"
+        )
+
+    arena = BufferArena(dtype=dtype)
+    compiled_model = copy.deepcopy(model).eval()
+    compiled_sites: List[_CompiledSite] = []
+    for site in sites:
+        # Bind against the *copy*'s module so exported weights come
+        # from the same tree the executable runs.
+        copied = LayerSite(
+            name=site.name,
+            module=find_module(compiled_model, site.name),
+            height=site.height,
+            width=site.width,
+        )
+        mod = copied.module
+        k, p = mod.kernel_size, mod.padding
+        hp, wp = site.height + 2 * p, site.width + 2 * p
+        if site.is_tucker:
+            planned = cores[site.name]
+            backend = get_backend(planned.backend)
+            exec_shape = ConvShape(
+                c=mod.rank_in, n=mod.rank_out, h=hp, w=wp, r=k, s=k
+            )
+            kernel = backend.kernel(exec_shape, device, tiling=planned.tiling)
+            compiled = CompiledTuckerConv2d(
+                copied, kernel, planned.backend, arena, max_batch
+            )
+        else:
+            planned = dense[site.name]
+            if k == 1:
+                kernel: Optional[ConvKernel] = None
+            else:
+                backend = get_backend(planned.backend or "cudnn")
+                exec_shape = ConvShape(
+                    c=mod.in_channels, n=mod.out_channels,
+                    h=hp, w=wp, r=k, s=k,
+                )
+                kernel = backend.kernel(
+                    exec_shape, device, tiling=planned.tiling
+                )
+            compiled = CompiledConv2d(copied, kernel, arena, max_batch)
+        replace_module(compiled_model, site.name, compiled)
+        compiled_sites.append(compiled)
+
+    return Executable(
+        plan=plan,
+        device=device,
+        model=compiled_model,
+        arena=arena,
+        sites=compiled_sites,
+        input_shape=(in_channels, image_hw[0], image_hw[1]),
+        max_batch=max_batch,
+    )
+
+
+def compile_model(
+    model: Module,
+    device: DeviceSpec,
+    *,
+    image_hw: Tuple[int, int] = (32, 32),
+    in_channels: int = 3,
+    core_backend: str = "auto",
+    max_batch: int = 1,
+    dtype: np.dtype = np.dtype(np.float64),
+    model_name: Optional[str] = None,
+) -> Executable:
+    """Plan + compile in one call (the common cold-path entry); the
+    model is traced once and shared between the two phases."""
+    sites = trace_layer_sites(model, image_hw, in_channels=in_channels)
+    plan = plan_model(
+        model, device, image_hw, in_channels=in_channels,
+        core_backend=core_backend, model_name=model_name, sites=sites,
+    )
+    return compile_plan(
+        plan, model, device, image_hw=image_hw, in_channels=in_channels,
+        max_batch=max_batch, dtype=dtype, sites=sites,
+    )

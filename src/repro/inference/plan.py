@@ -18,7 +18,7 @@ simulated latencies.  Two builders cover the Figs. 8/9 configurations:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.backends import dispatch_core, get_backend, validate_backend
 from repro.codesign.rank_selection import RankPlan
@@ -31,6 +31,7 @@ from repro.kernels.pointwise import (
     pooling_latency,
 )
 from repro.models.arch_specs import LayerSpec, ModelSpec
+from repro.nn.module import Module
 
 
 @dataclass(frozen=True)
@@ -151,6 +152,107 @@ def plan_dense_model(
     return plan
 
 
+def plan_model(
+    model: Module,
+    device: DeviceSpec,
+    image_hw: Tuple[int, int],
+    in_channels: int = 3,
+    core_backend: str = "auto",
+    model_name: Optional[str] = None,
+    sites: Optional[List["LayerSite"]] = None,
+) -> ExecutionPlan:
+    """Execution plan for a *trainable* model, kernels named after its
+    modules.
+
+    This is the cold half of the compile/execute split: every dense
+    :class:`~repro.nn.conv.Conv2d` plans as one baseline (cuDNN) conv
+    kernel, every :class:`~repro.nn.tucker_conv.TuckerConv2d` expands
+    into ``<name>.pw1`` / ``<name>.core`` / ``<name>.pw2`` with the
+    core dispatched through the backend registry — exactly the shapes
+    :func:`repro.inference.compile_plan` later binds to numeric
+    kernels.  Kernel layer names are the model's dotted module names,
+    so the plan round-trips to the module tree.
+
+    ``sites`` takes a pre-traced inventory (from
+    :func:`repro.models.introspection.trace_layer_sites` with the same
+    ``image_hw``/``in_channels``) so warm-up, planning, and compilation
+    can share one traced forward pass.
+    """
+    from repro.models.introspection import trace_layer_sites
+    from repro.nn.tucker_conv import TuckerConv2d
+
+    validate_backend(core_backend)
+    if sites is None:
+        sites = trace_layer_sites(model, image_hw, in_channels=in_channels)
+    if not sites:
+        raise ValueError(
+            f"model {model_name or type(model).__name__} has no conv "
+            f"layers reachable from a ({in_channels}, {image_hw[0]}, "
+            f"{image_hw[1]}) input; nothing to plan"
+        )
+    plan = ExecutionPlan(
+        model_name=model_name or type(model).__name__,
+        device_name=device.name,
+        variant=f"model-{core_backend}",
+    )
+    for site in sites:
+        mod = site.module
+        oh, ow = mod.output_shape(site.height, site.width)
+        if isinstance(mod, TuckerConv2d):
+            plan.kernels.append(
+                PlannedKernel(
+                    layer=f"{site.name}.pw1", kind="pointwise",
+                    latency=pointwise_latency(
+                        mod.in_channels, mod.rank_in,
+                        site.height, site.width, device,
+                    ),
+                )
+            )
+            core_shape = ConvShape(
+                c=mod.rank_in, n=mod.rank_out, h=oh, w=ow,
+                r=mod.kernel_size, s=mod.kernel_size,
+            )
+            dispatch = dispatch_core(core_shape, device, core_backend)
+            plan.kernels.append(
+                PlannedKernel(
+                    layer=f"{site.name}.core", kind="core",
+                    latency=dispatch.latency,
+                    backend=dispatch.backend,
+                    tiling=dispatch.tiling,
+                )
+            )
+            plan.kernels.append(
+                PlannedKernel(
+                    layer=f"{site.name}.pw2", kind="pointwise",
+                    latency=pointwise_latency(
+                        mod.rank_out, mod.out_channels, oh, ow, device,
+                    ),
+                )
+            )
+        elif mod.kernel_size == 1:
+            plan.kernels.append(
+                PlannedKernel(
+                    layer=site.name, kind="pointwise",
+                    latency=pointwise_latency(
+                        mod.in_channels, mod.out_channels, oh, ow, device,
+                    ),
+                )
+            )
+        else:
+            shape = ConvShape(
+                c=mod.in_channels, n=mod.out_channels, h=oh, w=ow,
+                r=mod.kernel_size, s=mod.kernel_size,
+            )
+            plan.kernels.append(
+                PlannedKernel(
+                    layer=site.name, kind="conv",
+                    latency=get_backend("cudnn").core_latency(shape, device),
+                    backend="cudnn",
+                )
+            )
+    return plan
+
+
 def plan_tucker_model(
     spec: ModelSpec,
     rank_plan: RankPlan,
@@ -170,6 +272,14 @@ def plan_tucker_model(
     # Fail fast: an unknown backend raises here, with the registry's
     # known names, not mid-plan at the first decomposed conv.
     validate_backend(core_backend)
+    if not spec.decomposable_convs(min_channels=1):
+        # Silently emitting a compressed "variant" with zero core convs
+        # (identical to the dense plan) hides a configuration mistake.
+        raise ValueError(
+            f"{spec.name} has no decomposable conv layers (spatial KxK "
+            f"convs with K > 1); a Tucker plan would contain no core "
+            f"kernels — use plan_dense_model for this model"
+        )
     decisions = {d.layer.name: d for d in rank_plan.decisions}
     plan = ExecutionPlan(
         model_name=spec.name, device_name=device.name,

@@ -17,7 +17,7 @@ A :class:`ConvKernel` provides two views of one scheme:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -26,6 +26,25 @@ from repro.gpusim.engine import KernelLaunch, simulate_kernel
 from repro.utils.validation import check_positive_int
 
 FLOAT_BYTES = 4  # kernels operate in float32 on the device
+
+
+def execution_dtype(*arrays: np.ndarray) -> np.dtype:
+    """The dtype a kernel executes in for the given operands.
+
+    Float inputs keep their common float dtype — float32 stays float32
+    end to end (the device executes float32; silent float64 promotion
+    doubles memory and hides precision issues).  Non-float inputs
+    (ints, bools) promote to float64, and sub-float32 floats (float16)
+    promote to float32: the modeled device has no half-precision
+    accumulate path, and accumulating C*R*S terms in float16 would be
+    a silent precision cliff.
+    """
+    dtype = np.result_type(*arrays)
+    if not np.issubdtype(dtype, np.floating):
+        return np.dtype(np.float64)
+    if dtype.itemsize < np.dtype(np.float32).itemsize:
+        return np.dtype(np.float32)
+    return dtype
 
 
 @dataclass(frozen=True)
@@ -120,24 +139,57 @@ class ConvKernel:
         """Functional execution: ``(C,H,W) x (N,C,R,S) -> (N,H,W)``."""
         raise NotImplementedError
 
+    # -- preallocated execution (the compiled hot path) -----------------
+    def scratch_shapes(self, shape: ConvShape) -> Dict[str, Tuple[int, ...]]:
+        """Shapes of the scratch buffers :meth:`run_into` needs.
+
+        Keys are kernel-private names; the compile step allocates one
+        zeroed buffer per entry (see :meth:`allocate_scratch`) so the
+        hot path performs no per-call allocation.
+        """
+        return {}
+
+    def allocate_scratch(
+        self, shape: ConvShape, dtype: np.dtype = np.dtype(np.float64)
+    ) -> Dict[str, np.ndarray]:
+        """Allocate the zero-initialized scratch set for ``run_into``.
+
+        Cold path (compile time).  Buffers must be zero-initialized:
+        ``run_into`` implementations only ever write interiors and rely
+        on padding borders staying zero across calls.
+        """
+        return {
+            name: np.zeros(s, dtype=dtype)
+            for name, s in self.scratch_shapes(shape).items()
+        }
+
+    def run_into(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        out: np.ndarray,
+        scratch: Dict[str, np.ndarray],
+    ) -> np.ndarray:
+        """Execute into a preallocated ``(N,H,W)`` output buffer.
+
+        Same numerics as :meth:`run`; ``x``/``weight``/``out`` must
+        already be in the execution dtype and ``scratch`` must come
+        from :meth:`allocate_scratch` for this problem shape.  The base
+        implementation falls back to :meth:`run` (which allocates);
+        kernels on the serving hot path override it to touch no
+        ``np.zeros``/``np.empty``/``np.pad`` per call.
+        """
+        out[...] = self.run(x, weight)
+        return out
+
     def _check_run_args(
         self, x: np.ndarray, weight: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, ConvShape]:
         x = np.asarray(x)
         weight = np.asarray(weight)
-        # Execute in the inputs' common float dtype — float32 inputs
-        # stay float32 end to end (the device executes float32; silent
-        # float64 promotion doubles memory and hides precision issues).
-        # Non-float inputs (ints, bools) promote to float64 as before,
-        # and sub-float32 floats (float16) promote to float32: the
-        # modeled device has no half-precision accumulate path, and
-        # accumulating C*R*S terms in float16 would be a silent
-        # precision cliff.
-        dtype = np.result_type(x.dtype, weight.dtype)
-        if not np.issubdtype(dtype, np.floating):
-            dtype = np.dtype(np.float64)
-        elif dtype.itemsize < np.dtype(np.float32).itemsize:
-            dtype = np.dtype(np.float32)
+        # Execute in the inputs' common float dtype; see
+        # :func:`execution_dtype` for the promotion rules.
+        dtype = execution_dtype(x, weight)
         x = np.asarray(x, dtype=dtype)
         weight = np.asarray(weight, dtype=dtype)
         if x.ndim != 3:
@@ -159,14 +211,17 @@ def reference_conv(x: np.ndarray, weight: np.ndarray) -> np.ndarray:
     """Reference "same" convolution for kernel validation.
 
     ``x`` is ``(C, H, W)``, ``weight`` is ``(N, C, R, S)``; output is
-    ``(N, H, W)``.  Cross-correlation (DL convention).
+    ``(N, H, W)``.  Cross-correlation (DL convention).  Dtype-
+    preserving like the kernel ``run()`` paths: float32 inputs produce
+    a float32 reference instead of silently promoting to float64.
     """
-    x = np.asarray(x, dtype=np.float64)
-    weight = np.asarray(weight, dtype=np.float64)
+    dtype = execution_dtype(np.asarray(x), np.asarray(weight))
+    x = np.asarray(x, dtype=dtype)
+    weight = np.asarray(weight, dtype=dtype)
     n, c, r, s = weight.shape
     shape = ConvShape(c=c, n=n, h=x.shape[1], w=x.shape[2], r=r, s=s)
     xp = pad_input(x, shape)
-    y = np.zeros((n, shape.h, shape.w))
+    y = np.zeros((n, shape.h, shape.w), dtype=dtype)
     for i in range(r):
         for j in range(s):
             patch = xp[:, i : i + shape.h, j : j + shape.w]

@@ -7,6 +7,7 @@ read the shapes each :class:`Conv2d` saw.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -15,6 +16,12 @@ import numpy as np
 from repro.nn.conv import Conv2d
 from repro.nn.module import Module
 from repro.nn.tucker_conv import TuckerConv2d
+
+# Tracing temporarily swaps the *class-level* forward methods, which is
+# process-global state: concurrent traces (e.g. two serving deployments)
+# would capture each other's wrappers and corrupt the restoration chain.
+# All tracing serializes on this lock.
+_TRACE_LOCK = threading.RLock()
 
 
 @dataclass
@@ -65,21 +72,24 @@ def trace_conv_sites(
     model.eval()
     shapes: Dict[int, Tuple[int, int]] = {}
 
-    # Temporarily wrap Conv2d.forward to record input spatial dims.
-    original_forward = Conv2d.forward
+    with _TRACE_LOCK:
+        # Temporarily wrap Conv2d.forward to record input spatial dims
+        # (capture the original under the lock: another thread's trace
+        # must be fully unwound first).
+        original_forward = Conv2d.forward
 
-    def tracing_forward(self: Conv2d, x: np.ndarray) -> np.ndarray:
-        shapes[id(self)] = (x.shape[2], x.shape[3])
-        return original_forward(self, x)
+        def tracing_forward(self: Conv2d, x: np.ndarray) -> np.ndarray:
+            shapes[id(self)] = (x.shape[2], x.shape[3])
+            return original_forward(self, x)
 
-    Conv2d.forward = tracing_forward  # type: ignore[method-assign]
-    try:
-        dummy = np.zeros((1, in_channels, image_hw[0], image_hw[1]))
-        model.forward(dummy)
-    finally:
-        Conv2d.forward = original_forward  # type: ignore[method-assign]
-        if was_training:
-            model.train()
+        Conv2d.forward = tracing_forward  # type: ignore[method-assign]
+        try:
+            dummy = np.zeros((1, in_channels, image_hw[0], image_hw[1]))
+            model.forward(dummy)
+        finally:
+            Conv2d.forward = original_forward  # type: ignore[method-assign]
+            if was_training:
+                model.train()
 
     sites: List[ConvSite] = []
     for name, mod in model.named_modules():
@@ -93,6 +103,77 @@ def trace_conv_sites(
             continue
         h, w = shapes[id(mod)]
         sites.append(ConvSite(name=name, layer=mod, height=h, width=w))
+    return sites
+
+
+@dataclass
+class LayerSite:
+    """Any conv-like layer (dense or Tucker-format) with traced input
+    extent — the unit the compile/execute split binds kernels to."""
+
+    name: str
+    module: Module           # Conv2d or TuckerConv2d
+    height: int
+    width: int
+
+    @property
+    def is_tucker(self) -> bool:
+        return isinstance(self.module, TuckerConv2d)
+
+
+def trace_layer_sites(
+    model: Module, image_hw: Tuple[int, int], in_channels: int = 3,
+) -> List[LayerSite]:
+    """Inventory every dense *and* Tucker-format conv with its traced
+    input spatial extent, in model order.
+
+    The execution-plan and compile steps need both kinds: dense convs
+    bind to a baseline kernel, Tucker layers expand into the
+    pw1 -> core -> pw2 pipeline with a registry-dispatched core.
+    """
+    was_training = model.training
+    model.eval()
+    shapes: Dict[int, Tuple[int, int]] = {}
+    order: List[int] = []
+
+    with _TRACE_LOCK:
+        orig_conv = Conv2d.forward
+        orig_tucker = TuckerConv2d.forward
+
+        def trace_conv(self: Conv2d, x: np.ndarray) -> np.ndarray:
+            if id(self) not in shapes:
+                order.append(id(self))
+            shapes[id(self)] = (x.shape[2], x.shape[3])
+            return orig_conv(self, x)
+
+        def trace_tucker(self: TuckerConv2d, x: np.ndarray) -> np.ndarray:
+            if id(self) not in shapes:
+                order.append(id(self))
+            shapes[id(self)] = (x.shape[2], x.shape[3])
+            return orig_tucker(self, x)
+
+        Conv2d.forward = trace_conv  # type: ignore[method-assign]
+        TuckerConv2d.forward = trace_tucker  # type: ignore[method-assign]
+        try:
+            dummy = np.zeros((1, in_channels, image_hw[0], image_hw[1]))
+            model.forward(dummy)
+        finally:
+            Conv2d.forward = orig_conv  # type: ignore[method-assign]
+            TuckerConv2d.forward = orig_tucker  # type: ignore[method-assign]
+            if was_training:
+                model.train()
+
+    by_id: Dict[int, Tuple[str, Module]] = {}
+    for name, mod in model.named_modules():
+        if isinstance(mod, (Conv2d, TuckerConv2d)) and id(mod) in shapes:
+            by_id[id(mod)] = (name, mod)
+    sites: List[LayerSite] = []
+    for mod_id in order:
+        if mod_id not in by_id:
+            continue  # executed but not registered (not reachable by name)
+        name, mod = by_id[mod_id]
+        h, w = shapes[mod_id]
+        sites.append(LayerSite(name=name, module=mod, height=h, width=w))
     return sites
 
 
@@ -131,26 +212,30 @@ def model_conv_flops(model: Module, image_hw: Tuple[int, int],
     was_training = model.training
     model.eval()
     shapes: Dict[int, Tuple[int, int]] = {}
-    orig_conv = Conv2d.forward
-    orig_tucker = TuckerConv2d.forward
 
-    def trace_conv(self: Conv2d, x: np.ndarray) -> np.ndarray:
-        shapes[id(self)] = (x.shape[2], x.shape[3])
-        return orig_conv(self, x)
+    with _TRACE_LOCK:
+        orig_conv = Conv2d.forward
+        orig_tucker = TuckerConv2d.forward
 
-    def trace_tucker(self: TuckerConv2d, x: np.ndarray) -> np.ndarray:
-        shapes[id(self)] = (x.shape[2], x.shape[3])
-        return orig_tucker(self, x)
+        def trace_conv(self: Conv2d, x: np.ndarray) -> np.ndarray:
+            shapes[id(self)] = (x.shape[2], x.shape[3])
+            return orig_conv(self, x)
 
-    Conv2d.forward = trace_conv  # type: ignore[method-assign]
-    TuckerConv2d.forward = trace_tucker  # type: ignore[method-assign]
-    try:
-        model.forward(np.zeros((1, in_channels, image_hw[0], image_hw[1])))
-    finally:
-        Conv2d.forward = orig_conv  # type: ignore[method-assign]
-        TuckerConv2d.forward = orig_tucker  # type: ignore[method-assign]
-        if was_training:
-            model.train()
+        def trace_tucker(self: TuckerConv2d, x: np.ndarray) -> np.ndarray:
+            shapes[id(self)] = (x.shape[2], x.shape[3])
+            return orig_tucker(self, x)
+
+        Conv2d.forward = trace_conv  # type: ignore[method-assign]
+        TuckerConv2d.forward = trace_tucker  # type: ignore[method-assign]
+        try:
+            model.forward(
+                np.zeros((1, in_channels, image_hw[0], image_hw[1]))
+            )
+        finally:
+            Conv2d.forward = orig_conv  # type: ignore[method-assign]
+            TuckerConv2d.forward = orig_tucker  # type: ignore[method-assign]
+            if was_training:
+                model.train()
 
     total = 0
     for _, mod in model.named_modules():

@@ -9,7 +9,7 @@ three stages remain trainable for the fine-tuning phase (Alg. 1 line 13).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -161,6 +161,25 @@ class TuckerConv2d(Module):
             self.w_in.data,
             optimize=True,
         )
+
+    def export_weights(
+        self, dtype: np.dtype = np.dtype(np.float64)
+    ) -> Dict[str, Optional[np.ndarray]]:
+        """Contiguous snapshots of the factor/core weights.
+
+        Used by the compile step: an :class:`~repro.inference.Executable`
+        owns its weights, so later training/mutation of this module does
+        not leak into an already-compiled artifact.
+        """
+        return {
+            "w_in": np.ascontiguousarray(self.w_in.data, dtype=dtype),
+            "core": np.ascontiguousarray(self.core.data, dtype=dtype),
+            "w_out": np.ascontiguousarray(self.w_out.data, dtype=dtype),
+            "bias": (
+                np.ascontiguousarray(self.bias.data, dtype=dtype)
+                if self.bias is not None else None
+            ),
+        }
 
     # -- compute ---------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:

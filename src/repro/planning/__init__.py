@@ -31,6 +31,7 @@ _WARMUP_EXPORTS = (
     "plan_many",
     "seed_from_table",
     "warm_backends",
+    "warm_model_backends",
     "warm_tables",
     "warm_tilings",
 )
@@ -60,6 +61,8 @@ __all__ = [
     "plan_key",
     "plan_many",
     "seed_from_table",
+    "warm_backends",
+    "warm_model_backends",
     "warm_tables",
     "warm_tilings",
 ]

@@ -277,6 +277,56 @@ def warm_backends(
     }
 
 
+def warm_model_backends(
+    model,
+    device: DeviceSpec,
+    image_hw: Tuple[int, int],
+    *,
+    in_channels: int = 3,
+    backends: Sequence[str] = ("auto",),
+    workers: Optional[int] = None,
+    sites=None,
+) -> Dict[str, int]:
+    """Warm the kernel backends for a *trainable* model's Tucker cores.
+
+    The compile/execute split consults the backend caches twice per
+    Tucker site: planning dispatches on the core shape at the output
+    extent, and compilation materializes the kernel at the padded
+    execution extent.  This warms both shape sets through
+    :func:`warm_backends`, so a following
+    ``plan_model`` + ``compile_plan`` (and every serving deployment)
+    is pure cache hits.  Dense-only models warm nothing and return an
+    empty mapping.  ``sites`` takes a pre-traced inventory so one
+    traced forward can feed warm-up, planning, and compilation.
+    """
+    from repro.models.introspection import trace_layer_sites
+    from repro.nn.tucker_conv import TuckerConv2d
+
+    if sites is None:
+        sites = trace_layer_sites(model, image_hw, in_channels=in_channels)
+    pairs: List[Tuple[ConvShape, DeviceSpec]] = []
+    for site in sites:
+        mod = site.module
+        if not isinstance(mod, TuckerConv2d):
+            continue
+        k, p = mod.kernel_size, mod.padding
+        oh, ow = mod.output_shape(site.height, site.width)
+        pairs.append((
+            ConvShape(c=mod.rank_in, n=mod.rank_out, h=oh, w=ow, r=k, s=k),
+            device,
+        ))
+        pairs.append((
+            ConvShape(
+                c=mod.rank_in, n=mod.rank_out,
+                h=site.height + 2 * p, w=site.width + 2 * p, r=k, s=k,
+            ),
+            device,
+        ))
+    if not pairs:
+        return {}
+    return warm_backends(pairs, backends, workers=workers)
+
+
 def plan_key(spec: ModelSpec, device: DeviceSpec, budget: float) -> PlanKey:
     """The :func:`plan_many` result key for one combination."""
     return (spec.fingerprint(), device.fingerprint(), budget)

@@ -1,0 +1,28 @@
+"""Serving layer: micro-batched inference sessions over compiled
+Executables.
+
+``plan → compile → execute → serve``: this package is the last stage —
+:class:`InferenceSession` queues single-sample requests over one
+:class:`~repro.inference.Executable`, :class:`SessionRegistry` deploys
+model presets end to end (decompose → warm → plan → compile → serve).
+"""
+
+from repro.serving.session import (
+    DEFAULT_REGISTRY,
+    InferenceSession,
+    SessionRegistry,
+    SessionStats,
+    create_session,
+    get_session,
+    warm_for_model,
+)
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "InferenceSession",
+    "SessionRegistry",
+    "SessionStats",
+    "create_session",
+    "get_session",
+    "warm_for_model",
+]

@@ -1,0 +1,416 @@
+"""Serving runtime: micro-batched inference sessions over Executables.
+
+An :class:`InferenceSession` owns one compiled
+:class:`~repro.inference.Executable` and a single worker thread.
+Callers submit single samples (``(C, H, W)``); the worker drains the
+request queue into dynamic micro-batches — up to the executable's
+``max_batch``, waiting at most ``batch_window_s`` after the first
+request — stages them into a preallocated batch buffer, and runs one
+forward per batch.  Steady-state serving therefore allocates no new
+activation buffers per request: the staging buffer and the
+executable's arena are reused for every batch.
+
+:class:`SessionRegistry` keeps named sessions per (model, device,
+backend) and builds new ones through the full pipeline: build model →
+hardware-aware decomposition (:func:`repro.codesign.decompose_for_device`)
+→ registry warm-up (:func:`repro.planning.warm_backends`, riding the
+PlanCache subsystem) → ``plan_model`` → ``compile_plan`` → warm run.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+from repro.inference.executable import Executable, compile_plan
+from repro.inference.plan import plan_model
+from repro.nn.module import Module
+
+_SENTINEL = object()
+
+
+class _Pending:
+    """Handle for one submitted request (a tiny future)."""
+
+    __slots__ = ("_event", "_result", "_error", "enqueued_at", "done_at")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+        self.enqueued_at = time.perf_counter()
+        self.done_at: Optional[float] = None
+
+    def _finish(self, result: Optional[np.ndarray],
+                error: Optional[BaseException] = None) -> None:
+        self._result = result
+        self._error = error
+        self.done_at = time.perf_counter()
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until the micro-batch containing this request ran."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("inference request timed out")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Enqueue-to-completion wall seconds (None while pending)."""
+        if self.done_at is None:
+            return None
+        return self.done_at - self.enqueued_at
+
+
+@dataclass
+class SessionStats:
+    """Steady-state serving counters for one session."""
+
+    requests: int
+    batches: int
+    mean_batch_size: float
+    mean_latency_s: float
+    p95_latency_s: float
+    queue_depth: int
+    batch_histogram: Dict[int, int]
+
+
+class InferenceSession:
+    """Dynamic micro-batching request queue over one Executable.
+
+    Parameters
+    ----------
+    executable:
+        The compiled model; its ``max_batch`` caps the micro-batch.
+    batch_window_s:
+        How long the worker waits after the first queued request for
+        more arrivals before running a partial batch.  0 disables
+        batching (every request runs alone).
+    warm:
+        Run one throwaway batch at construction so first-request
+        latency does not pay first-touch/einsum-path costs.
+    """
+
+    def __init__(
+        self,
+        executable: Executable,
+        batch_window_s: float = 0.002,
+        warm: bool = True,
+    ) -> None:
+        self.executable = executable
+        self.batch_window_s = float(batch_window_s)
+        self.max_batch = executable.max_batch
+        shape = executable.input_shape
+        # Staging buffer: submitted samples are copied (and dtype-cast)
+        # into it, so the hot path never stacks a fresh batch array.
+        self._staging = np.zeros(
+            (self.max_batch,) + shape, dtype=executable.dtype
+        )
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = False
+        self._requests = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._batch_histogram: Dict[int, int] = {}
+        self._latencies: Deque[float] = deque(maxlen=1024)
+        self._lock = threading.Lock()
+        if warm:
+            self.executable.run(self._staging[:1])
+        self._worker = threading.Thread(
+            target=self._serve_loop,
+            name=f"serve-{executable.model_name}",
+            daemon=True,
+        )
+        self._worker.start()
+
+    # -- client side --------------------------------------------------
+    def submit(self, x: np.ndarray) -> _Pending:
+        """Enqueue one ``(C, H, W)`` sample; returns a waitable handle."""
+        if self._closed:
+            raise RuntimeError("session is closed")
+        x = np.asarray(x)
+        if x.shape != self.executable.input_shape:
+            raise ValueError(
+                f"expected one sample of shape "
+                f"{self.executable.input_shape}, got {x.shape}; sessions "
+                f"micro-batch single samples (use Executable.run for "
+                f"whole batches)"
+            )
+        pending = _Pending()
+        self._queue.put((pending, x))
+        return pending
+
+    def infer(self, x: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
+        """Synchronous single-sample inference."""
+        return self.submit(x).result(timeout)
+
+    def infer_many(
+        self, xs: Sequence[np.ndarray], timeout: Optional[float] = None
+    ) -> List[np.ndarray]:
+        """Submit many samples at once and wait for all of them."""
+        handles = [self.submit(x) for x in xs]
+        return [h.result(timeout) for h in handles]
+
+    # -- worker side --------------------------------------------------
+    def _collect_batch(self, first) -> List[Tuple[_Pending, np.ndarray]]:
+        batch = [first]
+        deadline = time.perf_counter() + self.batch_window_s
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.perf_counter()
+            try:
+                if remaining <= 0:
+                    item = self._queue.get_nowait()
+                else:
+                    item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is _SENTINEL:
+                # Keep the shutdown signal for the outer loop.
+                self._queue.put(_SENTINEL)
+                break
+            batch.append(item)
+        return batch
+
+    def _drain_rejecting(self) -> None:
+        """Fail any request still queued (or racing close()) so no
+        waiter blocks forever on a session that shut down."""
+        error = RuntimeError("session closed before request ran")
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is not _SENTINEL:
+                item[0]._finish(None, error)
+
+    def _serve_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                self._drain_rejecting()
+                break
+            batch = self._collect_batch(item)
+            b = len(batch)
+            staged = self._staging[:b]
+            try:
+                for i, (_, x) in enumerate(batch):
+                    staged[i] = x  # copy + dtype cast, no allocation
+                y = self.executable.run(staged)
+            except BaseException as exc:  # surface to every waiter
+                for pending, _ in batch:
+                    pending._finish(None, exc)
+                continue
+            now_stats: List[float] = []
+            for i, (pending, _) in enumerate(batch):
+                pending._finish(y[i].copy())
+                if pending.latency is not None:
+                    now_stats.append(pending.latency)
+            with self._lock:
+                self._requests += b
+                self._batches += 1
+                self._batched_requests += b
+                self._batch_histogram[b] = (
+                    self._batch_histogram.get(b, 0) + 1
+                )
+                self._latencies.extend(now_stats)
+
+    # -- lifecycle / stats --------------------------------------------
+    def stats(self) -> SessionStats:
+        with self._lock:
+            lat = sorted(self._latencies)
+            mean_lat = sum(lat) / len(lat) if lat else 0.0
+            p95 = lat[min(len(lat) - 1, int(0.95 * len(lat)))] if lat else 0.0
+            mean_batch = (
+                self._batched_requests / self._batches if self._batches else 0.0
+            )
+            return SessionStats(
+                requests=self._requests,
+                batches=self._batches,
+                mean_batch_size=mean_batch,
+                mean_latency_s=mean_lat,
+                p95_latency_s=p95,
+                queue_depth=self._queue.qsize(),
+                batch_histogram=dict(self._batch_histogram),
+            )
+
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        """Stop the worker after the queue drains."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_SENTINEL)
+        self._worker.join(timeout)
+        # A submit() that raced close() may have enqueued after the
+        # sentinel; reject it rather than leave its waiter hanging.
+        self._drain_rejecting()
+
+    def __enter__(self) -> "InferenceSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def warm_for_model(
+    model: Module,
+    device: DeviceSpec,
+    image_hw: Tuple[int, int],
+    in_channels: int = 3,
+    backends: Sequence[str] = ("auto",),
+    workers: Optional[int] = None,
+    sites=None,
+) -> Dict[str, int]:
+    """Warm the kernel-backend caches for a model's Tucker cores.
+
+    Serving-side alias of :func:`repro.planning.warm_model_backends`
+    (PlanCache-backed, optional process-pool fan-out): covers both the
+    shapes planning dispatches on and the padded execution shapes
+    compilation materializes kernels for, so a deployment's
+    ``plan_model`` + ``compile_plan`` is all cache hits.
+    """
+    from repro.planning.warmup import warm_model_backends
+
+    return warm_model_backends(
+        model, device, image_hw, in_channels=in_channels,
+        backends=backends, workers=workers, sites=sites,
+    )
+
+
+class SessionRegistry:
+    """Named inference sessions, one per deployed (model, device,
+    backend) combination."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, InferenceSession] = {}
+        self._lock = threading.Lock()
+        # Serializes create(): deployment is cold-path, and holding one
+        # lock across check+build+add means concurrent deploys of the
+        # same key reuse instead of racing (and never leak a session).
+        self._create_lock = threading.Lock()
+
+    @staticmethod
+    def session_key(
+        model_name: str, device: DeviceSpec, backend: str
+    ) -> str:
+        return f"{model_name}@{device.name}:{backend}"
+
+    def names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._sessions)
+
+    def get(self, name: str) -> InferenceSession:
+        with self._lock:
+            try:
+                return self._sessions[name]
+            except KeyError:
+                raise KeyError(
+                    f"no session {name!r}; active: {sorted(self._sessions)}"
+                ) from None
+
+    def add(self, name: str, session: InferenceSession) -> InferenceSession:
+        with self._lock:
+            if name in self._sessions:
+                raise ValueError(f"session {name!r} already exists")
+            self._sessions[name] = session
+        return session
+
+    def create(
+        self,
+        model_name: str,
+        device: DeviceSpec,
+        *,
+        backend: str = "auto",
+        image_hw: Tuple[int, int] = (32, 32),
+        in_channels: int = 3,
+        num_classes: int = 10,
+        seed: int = 0,
+        budget: float = 0.5,
+        rank_step: int = 4,
+        max_batch: int = 8,
+        batch_window_s: float = 0.002,
+        decompose: bool = True,
+        workers: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> InferenceSession:
+        """Deploy a model preset end to end and register the session.
+
+        Builds the preset (:func:`repro.models.build_model`), optionally
+        runs hardware-aware decomposition against the target device,
+        warms the backend caches, plans, compiles, and wraps the
+        executable in a micro-batching session.  Reuses an existing
+        session under the same key.
+        """
+        from repro.codesign.pipeline import decompose_for_device
+        from repro.models.introspection import trace_layer_sites
+        from repro.models.registry import build_model
+
+        key = name or self.session_key(model_name, device, backend)
+        with self._create_lock:
+            with self._lock:
+                if key in self._sessions:
+                    return self._sessions[key]
+
+            model = build_model(
+                model_name, num_classes=num_classes, seed=seed
+            )
+            if decompose:
+                decompose_for_device(
+                    model, device, image_hw, in_channels=in_channels,
+                    budget=budget, rank_step=rank_step,
+                )
+            model.eval()
+            # One traced forward feeds warm-up, planning, and compile.
+            sites = trace_layer_sites(
+                model, image_hw, in_channels=in_channels
+            )
+            warm_for_model(
+                model, device, image_hw, in_channels=in_channels,
+                backends=(backend,), workers=workers, sites=sites,
+            )
+            plan = plan_model(
+                model, device, image_hw, in_channels=in_channels,
+                core_backend=backend, model_name=model_name, sites=sites,
+            )
+            executable = compile_plan(
+                plan, model, device, image_hw=image_hw,
+                in_channels=in_channels, max_batch=max_batch, sites=sites,
+            )
+            session = InferenceSession(
+                executable, batch_window_s=batch_window_s, warm=True
+            )
+            return self.add(key, session)
+
+    def close_all(self) -> None:
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            session.close()
+
+
+#: Process-wide default registry (the CLI and examples deploy here).
+DEFAULT_REGISTRY = SessionRegistry()
+
+
+def get_session(name: str) -> InferenceSession:
+    """Look a session up in the default registry."""
+    return DEFAULT_REGISTRY.get(name)
+
+
+def create_session(*args, **kwargs) -> InferenceSession:
+    """Create (or reuse) a session in the default registry; see
+    :meth:`SessionRegistry.create`."""
+    return DEFAULT_REGISTRY.create(*args, **kwargs)

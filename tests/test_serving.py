@@ -1,0 +1,179 @@
+"""Serving runtime: micro-batching sessions and the registry."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.codesign.pipeline import decompose_for_device
+from repro.gpusim.device import A100
+from repro.inference import compile_model
+from repro.models.registry import build_model
+from repro.serving import InferenceSession, SessionRegistry, warm_for_model
+
+IMAGE_HW = (8, 8)
+
+
+def make_executable(max_batch: int = 4):
+    model = build_model("resnet_tiny", seed=0)
+    decompose_for_device(model, A100, IMAGE_HW, budget=0.5, rank_step=2)
+    model.eval()
+    exe = compile_model(
+        model, A100, image_hw=IMAGE_HW, core_backend="auto",
+        max_batch=max_batch, model_name="resnet_tiny",
+    )
+    return model, exe
+
+
+def test_session_matches_direct_execution():
+    model, exe = make_executable()
+    rng = np.random.default_rng(0)
+    xs = [rng.standard_normal((3,) + IMAGE_HW) for _ in range(8)]
+    with InferenceSession(exe) as session:
+        ys = session.infer_many(xs, timeout=30.0)
+    ref = model.forward(np.stack(xs))
+    np.testing.assert_allclose(np.stack(ys), ref, atol=1e-8)
+
+
+def test_session_micro_batches_under_load():
+    _, exe = make_executable(max_batch=4)
+    rng = np.random.default_rng(1)
+    xs = rng.standard_normal((16, 3) + IMAGE_HW)
+    with InferenceSession(exe, batch_window_s=0.05) as session:
+        handles = [session.submit(x) for x in xs]
+        results = [h.result(timeout=30.0) for h in handles]
+        stats = session.stats()
+    assert len(results) == 16
+    assert stats.requests == 16
+    # 16 requests submitted ahead of the worker must coalesce: strictly
+    # fewer batches than requests, none larger than max_batch.
+    assert stats.batches < 16
+    assert max(stats.batch_histogram) <= 4
+    assert stats.mean_batch_size > 1.0
+    assert stats.mean_latency_s > 0.0
+    assert stats.p95_latency_s >= stats.mean_latency_s * 0.5
+
+
+def test_session_concurrent_clients():
+    model, exe = make_executable(max_batch=4)
+    rng = np.random.default_rng(2)
+    xs = rng.standard_normal((4, 4, 3) + IMAGE_HW)
+    outputs = {}
+
+    def client(i):
+        outputs[i] = [
+            session.infer(x, timeout=30.0) for x in xs[i]
+        ]
+
+    with InferenceSession(exe) as session:
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    for i in range(4):
+        ref = model.forward(xs[i])
+        np.testing.assert_allclose(np.stack(outputs[i]), ref, atol=1e-8)
+
+
+def test_session_rejects_bad_shapes_and_closed_use():
+    _, exe = make_executable()
+    session = InferenceSession(exe)
+    with pytest.raises(ValueError, match="one sample"):
+        session.submit(np.zeros((2, 3) + IMAGE_HW))  # batched submit
+    with pytest.raises(ValueError, match="one sample"):
+        session.submit(np.zeros((3, 4, 4)))  # wrong extent
+    session.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        session.submit(np.zeros((3,) + IMAGE_HW))
+    session.close()  # idempotent
+
+
+def test_registry_deploys_and_reuses_sessions():
+    registry = SessionRegistry()
+    try:
+        session = registry.create(
+            "resnet_tiny", A100, image_hw=IMAGE_HW, budget=0.5,
+            max_batch=2,
+        )
+        key = registry.session_key("resnet_tiny", A100, "auto")
+        assert registry.names() == (key,)
+        assert registry.get(key) is session
+        # Second create under the same key reuses the deployment.
+        assert registry.create(
+            "resnet_tiny", A100, image_hw=IMAGE_HW, budget=0.5,
+        ) is session
+        y = session.infer(
+            np.random.default_rng(3).standard_normal((3,) + IMAGE_HW),
+            timeout=30.0,
+        )
+        assert y.shape == (10,)
+        with pytest.raises(KeyError, match="no session"):
+            registry.get("nope")
+        with pytest.raises(ValueError, match="already exists"):
+            registry.add(key, session)
+    finally:
+        registry.close_all()
+    assert registry.names() == ()
+
+
+def test_registry_concurrent_create_same_key_reuses():
+    """Racing deploys of one key must converge on a single session."""
+    registry = SessionRegistry()
+    results = [None] * 4
+
+    def deploy(i):
+        results[i] = registry.create(
+            "resnet_tiny", A100, image_hw=IMAGE_HW, budget=0.5,
+        )
+
+    try:
+        threads = [
+            threading.Thread(target=deploy, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r is results[0] for r in results)
+        assert len(registry.names()) == 1
+    finally:
+        registry.close_all()
+
+
+def test_close_rejects_queued_requests_instead_of_hanging():
+    """A submit that races close() must error, not block forever.
+
+    Reproduces the race deterministically: the request is enqueued
+    *behind* the shutdown sentinel (as a preempted submit would), then
+    close() runs.  The waiter must get a RuntimeError.
+    """
+    from repro.serving.session import _SENTINEL
+
+    _, exe = make_executable()
+    session = InferenceSession(exe)
+    session._queue.put(_SENTINEL)  # worker will begin shutting down
+    handle = session.submit(np.zeros((3,) + IMAGE_HW))
+    session.close()
+    with pytest.raises(RuntimeError, match="session closed"):
+        handle.result(timeout=5.0)
+
+
+def test_warm_for_model_covers_tucker_cores():
+    model = build_model("resnet_tiny", seed=0)
+    decompose_for_device(model, A100, IMAGE_HW, budget=0.5, rank_step=2)
+    evaluations = warm_for_model(model, A100, IMAGE_HW, backends=("auto",))
+    # auto expands to every registered backend; each reports a count.
+    from repro.backends import backend_names
+
+    assert set(evaluations) == set(backend_names())
+    assert all(v >= 0 for v in evaluations.values())
+
+
+def test_warm_for_model_dense_only_is_noop():
+    model = build_model("resnet_tiny", seed=0)  # no Tucker sites
+    assert warm_for_model(model, A100, IMAGE_HW) == {}
