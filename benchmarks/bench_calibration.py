@@ -1,0 +1,204 @@
+"""Calibration benchmark: corrected-model error vs raw, session soak.
+
+Two gates, both hard failures (exit non-zero):
+
+1. **Predictor quality**: for every preset (device, model) pair, the
+   calibrated predicted latency must have *strictly lower* relative
+   error against ``Executable.measure`` than the raw analytical
+   prediction.  Factors are fitted per pair in a throwaway cache, then
+   evaluated against a fresh measurement.
+2. **Session memory**: a 10k-request soak (2k in ``--quick``) through
+   an :class:`~repro.serving.InferenceSession` must keep the latency
+   window at its bounded capacity and must not grow traced Python
+   allocations beyond a small constant — the regression this guards
+   against is the old unbounded ``_latencies`` history.
+
+Wall-clock numbers are informational (shared runners flake); the gates
+above are structural/numeric and deterministic enough for CI.
+
+Run:  PYTHONPATH=src python benchmarks/bench_calibration.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.calibration import CalibratedDevice, run_calibration, store_calibration
+from repro.codesign.pipeline import decompose_for_device
+from repro.gpusim.device import get_device
+from repro.inference.executable import compile_model
+from repro.inference.plan import plan_model
+from repro.models.registry import build_model
+from repro.planning.cache import PlanCache
+from repro.serving import InferenceSession
+
+MODELS = ("resnet_tiny", "vgg_tiny")
+DEVICES = ("A100", "2080Ti")
+IMAGE_HW = (8, 8)
+#: Traced-allocation growth allowed across the soak.  An unbounded
+#: latency history alone grows ~80 B/request (0.8 MB per 10k); real
+#: leaks (arena churn) blow far past this.
+SOAK_GROWTH_LIMIT_BYTES = 2 * 1024 * 1024
+
+
+def bench_pair(device, model_name: str, repeats: int) -> dict:
+    model = build_model(model_name, seed=0)
+    try:
+        decompose_for_device(
+            model, device, IMAGE_HW, budget=0.5, rank_step=2
+        )
+    except ValueError:
+        pass  # θ rule decomposed nothing: calibrate the dense model
+    model.eval()
+    exe = compile_model(
+        model, device, image_hw=IMAGE_HW, core_backend="auto",
+        max_batch=1, model_name=model_name,
+    )
+    cache = PlanCache(
+        f"calibration-{model_name}-{device.name}", maxsize=256,
+        register=False,
+    )
+    t0 = time.perf_counter()
+    run = run_calibration(exe, warmup=1, repeats=repeats)
+    calibrate_wall = time.perf_counter() - t0
+    store_calibration(run, cache=cache)
+    calibrated = CalibratedDevice.from_cache(device, cache=cache)
+    cal_plan = plan_model(
+        model, calibrated, IMAGE_HW, core_backend="auto",
+        model_name=model_name,
+    )
+    x = np.random.default_rng(1).standard_normal((1, 3) + IMAGE_HW)
+    measured = exe.measure(x, repeats=repeats)
+    raw_pred = exe.predicted_latency()
+    cal_pred = cal_plan.total_latency()
+    raw_err = abs(raw_pred - measured) / measured
+    cal_err = abs(cal_pred - measured) / measured
+    print(f"    {model_name:>12s} on {device.name:>6s}  "
+          f"raw {raw_pred * 1e3:7.3f} ms  cal {cal_pred * 1e3:7.3f} ms  "
+          f"measured {measured * 1e3:7.3f} ms  "
+          f"err {raw_err:6.1%} -> {cal_err:6.1%}")
+    if cal_err >= raw_err:
+        print(f"FAIL: calibrated predictor is not better than raw for "
+              f"{model_name} on {device.name} "
+              f"({cal_err:.1%} >= {raw_err:.1%})")
+        sys.exit(1)
+    return {
+        "raw_predicted_s": raw_pred,
+        "calibrated_predicted_s": cal_pred,
+        "measured_s": measured,
+        "raw_rel_error": raw_err,
+        "calibrated_rel_error": cal_err,
+        "calibrate_wall_s": calibrate_wall,
+        "sites_measured": len(run.samples),
+        "factors_fitted": len(run.factors()),
+    }
+
+
+def bench_soak(device, n_requests: int) -> dict:
+    model = build_model("resnet_tiny", seed=0)
+    try:
+        decompose_for_device(
+            model, device, IMAGE_HW, budget=0.5, rank_step=2
+        )
+    except ValueError:
+        pass
+    model.eval()
+    exe = compile_model(
+        model, device, image_hw=IMAGE_HW, core_backend="auto",
+        max_batch=8, model_name="resnet_tiny",
+    )
+    rng = np.random.default_rng(2)
+    xs = rng.standard_normal((64, 3) + IMAGE_HW)
+    with InferenceSession(exe, batch_window_s=0.0) as session:
+        warm = min(256, n_requests // 10)
+        for i in range(warm):  # reach steady state before measuring
+            session.infer(xs[i % 64], timeout=60.0)
+        gc.collect()
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        t0 = time.perf_counter()
+        for i in range(n_requests):
+            session.infer(xs[i % 64], timeout=60.0)
+        wall = time.perf_counter() - t0
+        gc.collect()
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        stats = session.stats()
+        window_len = len(session._latencies)
+        window_cap = session._latencies.capacity
+    growth = after - before
+    print(f"    soak: {n_requests} requests in {wall:.1f} s "
+          f"({n_requests / wall:.0f} req/s), window {window_len}/"
+          f"{window_cap}, traced growth {growth / 1024:.0f} kB, "
+          f"p95 {stats.p95_latency_s * 1e3:.2f} ms")
+    if window_len > window_cap:
+        print(f"FAIL: latency window exceeded its capacity "
+              f"({window_len} > {window_cap})")
+        sys.exit(1)
+    if stats.requests < n_requests:
+        print(f"FAIL: soak dropped requests ({stats.requests} < "
+              f"{n_requests})")
+        sys.exit(1)
+    if growth > SOAK_GROWTH_LIMIT_BYTES:
+        print(f"FAIL: session memory grew {growth / 1e6:.1f} MB across "
+              f"the soak (limit {SOAK_GROWTH_LIMIT_BYTES / 1e6:.1f} MB) "
+              f"— unbounded per-request state is back")
+        sys.exit(1)
+    return {
+        "requests": n_requests,
+        "wall_s": wall,
+        "throughput_rps": n_requests / wall,
+        "latency_window": window_len,
+        "latency_window_capacity": window_cap,
+        "traced_growth_bytes": growth,
+        "p95_latency_s": stats.p95_latency_s,
+        "mean_latency_s": stats.mean_latency_s,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: fewer repeats, 2k-request soak")
+    args = parser.parse_args()
+
+    repeats = 3 if args.quick else 5
+    soak_requests = 2_000 if args.quick else 10_000
+
+    print(f"calibration benchmark "
+          f"({'quick' if args.quick else 'full'})")
+    print("  calibrated vs raw prediction error:")
+    pairs = {}
+    for device_name in DEVICES:
+        device = get_device(device_name)
+        for model_name in MODELS:
+            pairs[f"{model_name}@{device_name}"] = bench_pair(
+                device, model_name, repeats
+            )
+
+    print("  session soak (bounded stats / no memory growth):")
+    soak = bench_soak(get_device("A100"), soak_requests)
+
+    out = {
+        "quick": args.quick,
+        "image_hw": list(IMAGE_HW),
+        "pairs": pairs,
+        "soak": soak,
+    }
+    path = ("BENCH_calibration.quick.json" if args.quick
+            else "BENCH_calibration.json")
+    with open(path, "w") as fh:
+        json.dump(out, fh, indent=2, sort_keys=True)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

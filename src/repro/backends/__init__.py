@@ -11,6 +11,7 @@ from repro.backends.registry import (
     KernelBackend,
     auto_dispatch,
     backend_names,
+    base_device,
     dispatch_core,
     get_backend,
     group_pairs_by_device,
@@ -30,6 +31,7 @@ __all__ = [
     "PAPER_CORE_BACKENDS",
     "auto_dispatch",
     "backend_names",
+    "base_device",
     "dispatch_core",
     "get_backend",
     "group_pairs_by_device",

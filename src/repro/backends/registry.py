@@ -18,6 +18,10 @@ A backend provides:
   shape at all (e.g. Winograd F(2x2,3x3) is 3x3-only);
 - ``core_latency(shape, device)`` — simulated seconds for the core
   conv, launch overhead included;
+- ``calibrated_latency(shape, device)`` — the latency the dispatchers
+  actually consume: ``core_latency`` times the measured correction
+  factor a :class:`~repro.calibration.CalibratedDevice` carries
+  (identity for a plain spec);
 - ``tiling(shape, device)`` — optional human-readable description of
   the tiling/config that produced the latency (recorded per kernel on
   the execution plan);
@@ -54,6 +58,18 @@ from repro.kernels.base import ConvKernel, ConvShape
 AUTO_BACKEND = "auto"
 
 
+def base_device(device: DeviceSpec) -> DeviceSpec:
+    """Unwrap a calibration wrapper to its underlying spec.
+
+    :class:`repro.calibration.CalibratedDevice` carries measured
+    correction factors on top of a plain spec; the analytical machinery
+    (simulators, tiling caches, process-pool warm-up) always works on
+    the base spec so memoized state stays shared with uncalibrated
+    planning.  Plain specs pass through unchanged.
+    """
+    return getattr(device, "base_spec", device)
+
+
 @dataclass(frozen=True)
 class CoreDispatch:
     """Outcome of resolving one core conv to a concrete backend."""
@@ -80,6 +96,23 @@ class KernelBackend:
     def core_latency(self, shape: ConvShape, device: DeviceSpec) -> float:
         """Simulated core-conv latency in seconds."""
         raise NotImplementedError
+
+    def calibrated_latency(self, shape: ConvShape, device: DeviceSpec) -> float:
+        """Core latency with any measured correction applied.
+
+        The dispatch layer resolves core latencies through this hook:
+        for a plain :class:`DeviceSpec` it is identical to
+        :meth:`core_latency`; for a
+        :class:`~repro.calibration.CalibratedDevice` the analytical
+        latency (computed against the *base* spec, so backend caches
+        stay shared) is multiplied by the device's measured
+        per-backend/per-shape-class correction factor.
+        """
+        raw = self.core_latency(shape, base_device(device))
+        correction = getattr(device, "correction_for", None)
+        if correction is None:
+            return raw
+        return raw * correction(self.name, shape)
 
     def tiling(self, shape: ConvShape, device: DeviceSpec) -> Optional[str]:
         """Description of the tiling/config behind ``core_latency``."""
@@ -146,11 +179,11 @@ class KernelBackend:
         return count
 
     def dispatch(self, shape: ConvShape, device: DeviceSpec) -> CoreDispatch:
-        """Resolve one core shape through this backend."""
+        """Resolve one core shape through this backend (calibrated)."""
         return CoreDispatch(
             backend=self.name,
-            latency=self.core_latency(shape, device),
-            tiling=self.tiling(shape, device),
+            latency=self.calibrated_latency(shape, device),
+            tiling=self.tiling(shape, base_device(device)),
         )
 
 
@@ -268,19 +301,20 @@ def auto_dispatch(shape: ConvShape, device: DeviceSpec) -> CoreDispatch:
     ``ValueError`` (no feasible config) — are skipped.  Ties keep the
     earliest-registered backend.
     """
+    base = base_device(device)
     best: Optional[CoreDispatch] = None
     for backend in _REGISTRY.values():
-        if not backend.supports(shape, device):
+        if not backend.supports(shape, base):
             continue
         try:
-            latency = backend.core_latency(shape, device)
+            latency = backend.calibrated_latency(shape, device)
         except ValueError:
             continue
         if best is None or latency < best.latency:
             best = CoreDispatch(
                 backend=backend.name,
                 latency=latency,
-                tiling=backend.tiling(shape, device),
+                tiling=backend.tiling(shape, base),
             )
     if best is None:
         raise ValueError(
@@ -298,7 +332,7 @@ def dispatch_core(
     if backend == AUTO_BACKEND:
         return auto_dispatch(shape, device)
     resolved = get_backend(backend)
-    if not resolved.supports(shape, device):
+    if not resolved.supports(shape, base_device(device)):
         raise ValueError(
             f"backend {backend!r} does not support core shape {shape} "
             f"on {device.name}"

@@ -1,0 +1,289 @@
+"""Calibration factors: measured-vs-analytical correction state.
+
+The analytical performance model (Eqs. 14/15/19 + the GPU simulator)
+predicts kernel latencies from first principles; :mod:`repro.calibration`
+closes the loop by *measuring* the compiled kernels and fitting
+per-backend, per-shape-class correction factors against the analytical
+``core_latency``.  This module holds the state half of the subsystem:
+
+- :class:`CalibrationFactor` — one fitted correction (ratio of measured
+  to predicted seconds, with the observation sums kept so repeated
+  calibration runs merge instead of clobbering each other);
+- the ``calibration`` :class:`~repro.planning.cache.PlanCache` — the
+  versioned, persistent store, keyed by
+  ``(DeviceSpec.fingerprint(), backend, shape class)``;
+- :class:`CalibratedDevice` — a :class:`~repro.gpusim.device.DeviceSpec`
+  wrapper that carries a snapshot of the factors.  Passing one anywhere
+  a plain spec is accepted makes ``plan_model`` / ``estimate_e2e`` /
+  ``"auto"`` dispatch consume corrected latencies transparently: the
+  kernel-backend protocol's ``calibrated_latency`` hook multiplies the
+  analytical latency by :meth:`CalibratedDevice.correction_for`, and
+  the planners scale auxiliary (non-core) kernels by
+  :meth:`CalibratedDevice.aux_correction`.
+
+Shape classes come from :func:`repro.perfmodel.shape_class`; the
+measurement half lives in :mod:`repro.calibration.runner` (it needs the
+compile/execute machinery, which imports the planners — keeping it out
+of this module keeps the dependency graph acyclic).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.gpusim.device import DeviceSpec
+from repro.kernels.base import ConvShape
+from repro.perfmodel.analytical import shape_class
+from repro.planning.cache import PlanCache
+
+#: Pseudo-backend key under which the shared auxiliary-kernel
+#: correction (pointwise / bn_relu / pool / fc, and anything else the
+#: plan does not attribute to a core kernel) is stored.  Never a real
+#: registry name — backend names cannot start with an underscore.
+AUX_BACKEND = "__aux__"
+
+#: Shape-class key of the catch-all auxiliary factor.
+AUX_CLASS = "all"
+
+
+@dataclass(frozen=True)
+class CalibrationFactor:
+    """One fitted correction: measured over predicted seconds.
+
+    ``factor`` is the ratio of the observation *sums* (not the mean of
+    ratios) — large sites dominate, which is what end-to-end latency
+    cares about.  The sums are kept so two runs over the same
+    (backend, shape class) merge exactly.
+    """
+
+    factor: float        # measured_s / predicted_s
+    n_samples: int       # observations behind the fit
+    predicted_s: float   # summed analytical seconds
+    measured_s: float    # summed wall seconds
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0 or not math.isfinite(self.factor):
+            raise ValueError(
+                f"calibration factor must be finite and positive, "
+                f"got {self.factor!r}"
+            )
+
+    @classmethod
+    def from_sums(
+        cls, predicted_s: float, measured_s: float, n_samples: int
+    ) -> "CalibrationFactor":
+        if predicted_s <= 0 or measured_s <= 0:
+            raise ValueError(
+                f"calibration needs positive predicted/measured sums, got "
+                f"predicted={predicted_s!r} measured={measured_s!r}"
+            )
+        return cls(
+            factor=measured_s / predicted_s,
+            n_samples=int(n_samples),
+            predicted_s=float(predicted_s),
+            measured_s=float(measured_s),
+        )
+
+    def merged(self, other: "CalibrationFactor") -> "CalibrationFactor":
+        """Combine two fits over the same key (sum the observations)."""
+        return CalibrationFactor.from_sums(
+            self.predicted_s + other.predicted_s,
+            self.measured_s + other.measured_s,
+            self.n_samples + other.n_samples,
+        )
+
+
+# The persistent store.  Keys: (device fingerprint, backend, shape
+# class).  Payload version bumps whenever CalibrationFactor's encoded
+# shape changes; a stale file then invalidates gracefully (cold start).
+_CALIBRATION_CACHE = PlanCache(
+    "calibration",
+    maxsize=8192,
+    payload_version=1,
+    encode=lambda f: {
+        "factor": f.factor,
+        "n": f.n_samples,
+        "predicted_s": f.predicted_s,
+        "measured_s": f.measured_s,
+    },
+    decode=lambda doc: CalibrationFactor(
+        factor=float(doc["factor"]),
+        n_samples=int(doc["n"]),
+        predicted_s=float(doc["predicted_s"]),
+        measured_s=float(doc["measured_s"]),
+    ),
+)
+
+
+def calibration_cache() -> PlanCache:
+    """The process-wide ``calibration`` plan cache."""
+    return _CALIBRATION_CACHE
+
+
+def factor_key(
+    fingerprint: str, backend: str, cls: str
+) -> Tuple[str, str, str]:
+    """Cache key of one correction factor."""
+    return (fingerprint, backend, cls)
+
+
+def store_factor(
+    fingerprint: str,
+    backend: str,
+    cls: str,
+    factor: CalibrationFactor,
+    cache: Optional[PlanCache] = None,
+    merge: bool = True,
+) -> CalibrationFactor:
+    """Write one factor (merging with any existing fit by default)."""
+    cache = cache if cache is not None else _CALIBRATION_CACHE
+    key = factor_key(fingerprint, backend, cls)
+    if merge:
+        existing = cache.peek(key)
+        if existing is not None:
+            factor = existing.merged(factor)
+    cache.replace(key, factor)
+    return factor
+
+
+def device_factors(
+    device: DeviceSpec, cache: Optional[PlanCache] = None
+) -> Dict[Tuple[str, str], CalibrationFactor]:
+    """All stored factors for one device: ``(backend, class) -> factor``."""
+    cache = cache if cache is not None else _CALIBRATION_CACHE
+    fp = device.fingerprint()
+    out: Dict[Tuple[str, str], CalibrationFactor] = {}
+    for key in cache.keys():
+        if isinstance(key, tuple) and len(key) == 3 and key[0] == fp:
+            value = cache.peek(key)
+            if value is not None:
+                out[(key[1], key[2])] = value
+    return out
+
+
+def _ratio_of_sums(factors: List[CalibrationFactor]) -> Optional[float]:
+    predicted = sum(f.predicted_s for f in factors)
+    measured = sum(f.measured_s for f in factors)
+    if predicted <= 0 or measured <= 0:
+        return None
+    return measured / predicted
+
+
+class CalibratedDevice:
+    """A device spec plus a snapshot of measured correction factors.
+
+    Behaves like the wrapped :class:`DeviceSpec` everywhere (attribute
+    access — ``name``, ``n_sms``, ``fingerprint()``, ... — delegates to
+    the base spec, so simulators, tiling selectors, and plan caches see
+    the identical device), while exposing two extra hooks the planning
+    layer consults by duck typing:
+
+    - :meth:`correction_for` — multiplier for one backend's analytical
+      core latency (exact shape-class hit, else the backend's pooled
+      factor, else the device's pooled core factor, else 1.0);
+    - :meth:`aux_correction` — multiplier for auxiliary kernel kinds
+      (pointwise / bn_relu / pool / fc).
+
+    Sharing the base fingerprint is deliberate: calibration scales the
+    *reported* latencies without changing any underlying selection
+    (tilings, tuning, tables), so the memoized planner state stays
+    valid and hot.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        factors: Optional[Dict[Tuple[str, str], CalibrationFactor]] = None,
+    ) -> None:
+        if isinstance(spec, CalibratedDevice):  # never nest wrappers
+            spec = spec.base_spec
+        self.base_spec = spec
+        self._factors: Dict[Tuple[str, str], CalibrationFactor] = dict(
+            factors or {}
+        )
+        core = [
+            f for (backend, _), f in self._factors.items()
+            if backend != AUX_BACKEND
+        ]
+        per_backend: Dict[str, List[CalibrationFactor]] = {}
+        for (backend, _), f in self._factors.items():
+            if backend != AUX_BACKEND:
+                per_backend.setdefault(backend, []).append(f)
+        self._backend_fallback: Dict[str, float] = {
+            backend: ratio
+            for backend, fs in per_backend.items()
+            if (ratio := _ratio_of_sums(fs)) is not None
+        }
+        self._core_fallback = _ratio_of_sums(core)
+        aux = [
+            f for (backend, _), f in self._factors.items()
+            if backend == AUX_BACKEND
+        ]
+        self._aux_fallback = _ratio_of_sums(aux)
+
+    @classmethod
+    def from_cache(
+        cls, spec: DeviceSpec, cache: Optional[PlanCache] = None
+    ) -> "CalibratedDevice":
+        """Snapshot the stored factors for ``spec`` into a wrapper."""
+        return cls(spec, device_factors(spec, cache=cache))
+
+    # -- delegation ---------------------------------------------------
+    def __getattr__(self, name: str):
+        # Only reached for attributes not found on the wrapper itself.
+        if name.startswith("__"):
+            raise AttributeError(name)
+        base = self.__dict__.get("base_spec")
+        if base is None:
+            raise AttributeError(name)
+        return getattr(base, name)
+
+    def __getstate__(self):  # keep pickling away from __getattr__
+        return self.__dict__
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+    # -- calibration queries ------------------------------------------
+    @property
+    def is_calibrated(self) -> bool:
+        return bool(self._factors)
+
+    @property
+    def n_factors(self) -> int:
+        return len(self._factors)
+
+    def factors(self) -> Dict[Tuple[str, str], CalibrationFactor]:
+        return dict(self._factors)
+
+    def correction_for(self, backend: str, shape: ConvShape) -> float:
+        """Multiplier for ``backend``'s analytical latency on ``shape``."""
+        exact = self._factors.get((backend, shape_class(shape)))
+        if exact is not None:
+            return exact.factor
+        pooled = self._backend_fallback.get(backend)
+        if pooled is not None:
+            return pooled
+        if self._core_fallback is not None:
+            return self._core_fallback
+        return 1.0
+
+    def aux_correction(self, kind: str) -> float:
+        """Multiplier for one auxiliary kernel kind's latency."""
+        exact = self._factors.get((AUX_BACKEND, kind))
+        if exact is not None:
+            return exact.factor
+        catch_all = self._factors.get((AUX_BACKEND, AUX_CLASS))
+        if catch_all is not None:
+            return catch_all.factor
+        if self._aux_fallback is not None:
+            return self._aux_fallback
+        return 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CalibratedDevice({self.base_spec.name!r}, "
+            f"{len(self._factors)} factor(s))"
+        )

@@ -22,6 +22,7 @@ from repro.inference.executable import (
     Executable,
     compile_model,
     compile_plan,
+    model_dtype,
 )
 from repro.inference.plan import (
     ExecutionPlan,
@@ -48,6 +49,7 @@ __all__ = [
     "PlannedKernel",
     "compile_model",
     "compile_plan",
+    "model_dtype",
     "estimate_e2e",
     "estimate_e2e_many",
     "plan_dense_model",

@@ -40,7 +40,7 @@ import numpy as np
 from repro.backends import get_backend
 from repro.gpusim.device import DeviceSpec
 from repro.inference.plan import ExecutionPlan, PlannedKernel, plan_model
-from repro.kernels.base import ConvKernel, ConvShape
+from repro.kernels.base import ConvKernel, ConvShape, execution_dtype
 from repro.models.introspection import (
     LayerSite,
     find_module,
@@ -62,9 +62,14 @@ class BufferArena:
     All buffers are zero-initialized once at compile time; hot-path
     code only ever writes interiors (padding borders stay zero), so a
     steady-state request allocates nothing.
+
+    The default dtype is float32 — the device execution dtype
+    (``kernels.base.FLOAT_BYTES``); a float64 arena is only warranted
+    when the model's weights are float64, which :func:`compile_plan`
+    decides per model.
     """
 
-    def __init__(self, dtype: np.dtype = np.dtype(np.float64)) -> None:
+    def __init__(self, dtype: np.dtype = np.dtype(np.float32)) -> None:
         self.dtype = np.dtype(dtype)
         self._buffers: Dict[str, np.ndarray] = {}
 
@@ -320,7 +325,16 @@ class Executable:
         self.max_batch = int(max_batch)
         self._model = model
         self._sites = list(sites)
+        # The plan is immutable for this executable's lifetime; the
+        # serving worker reads the prediction every batch, so sum once.
+        self._predicted_latency = plan.total_latency()
         self.requests_served = 0
+        # Inputs arriving in a different dtype than the arena force a
+        # hot-path cast (a full copy).  The counter lets serving assert
+        # the steady state performs none: the session's staging buffer
+        # is allocated in the arena dtype, so every worker batch
+        # arrives pre-converted.
+        self.hot_casts = 0
 
     @property
     def dtype(self) -> np.dtype:
@@ -335,7 +349,7 @@ class Executable:
 
     def predicted_latency(self) -> float:
         """The plan's simulated per-request latency (seconds)."""
-        return self.plan.total_latency()
+        return self._predicted_latency
 
     def run(self, x: np.ndarray) -> np.ndarray:
         """Execute one request: ``(B, C, H, W)`` (or ``(C, H, W)``).
@@ -359,6 +373,7 @@ class Executable:
             )
         if x.dtype != self.dtype:
             x = x.astype(self.dtype)  # cold path; hot callers pass dtype
+            self.hot_casts += 1
         y = self._model.forward(x)
         self.requests_served += 1
         return y
@@ -423,6 +438,21 @@ def _index_plan(
     return cores, dense
 
 
+def model_dtype(model: Module) -> np.dtype:
+    """The execution dtype a model's own weights imply.
+
+    ``compile_plan(dtype=None)`` compiles the arena in this dtype: a
+    float32-trained model gets a float32 arena (half the bytes, no
+    hot-path casts on float32 requests — the kernels' ``run``/
+    ``run_into`` paths are float32-preserving), while the float64
+    training stack keeps its float64 arena and exact-match semantics.
+    """
+    arrays = [p.data for p in model.parameters()]
+    if not arrays:
+        return np.dtype(np.float64)
+    return execution_dtype(*arrays)
+
+
 def compile_plan(
     plan: ExecutionPlan,
     model: Module,
@@ -431,7 +461,7 @@ def compile_plan(
     image_hw: Tuple[int, int] = (32, 32),
     in_channels: int = 3,
     max_batch: int = 1,
-    dtype: np.dtype = np.dtype(np.float64),
+    dtype: Optional[np.dtype] = None,
     sites: Optional[Sequence[LayerSite]] = None,
 ) -> Executable:
     """Bind an execution plan to a trainable model: the compile step.
@@ -447,7 +477,14 @@ def compile_plan(
     ``sites`` takes a pre-traced inventory (same ``image_hw`` and
     ``in_channels``) so planning and compilation can share one traced
     forward pass.
+
+    ``dtype=None`` (default) compiles the arena in the *model's* dtype
+    (:func:`model_dtype`) — the execution path is dtype-preserving, so
+    defaulting to float64 regardless would double the arena and force
+    a cast on every float32 request.
     """
+    if dtype is None:
+        dtype = model_dtype(model)
     if sites is None:
         sites = trace_layer_sites(model, image_hw, in_channels=in_channels)
     else:
@@ -535,7 +572,7 @@ def compile_model(
     in_channels: int = 3,
     core_backend: str = "auto",
     max_batch: int = 1,
-    dtype: np.dtype = np.dtype(np.float64),
+    dtype: Optional[np.dtype] = None,
     model_name: Optional[str] = None,
 ) -> Executable:
     """Plan + compile in one call (the common cold-path entry); the

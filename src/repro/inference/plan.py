@@ -85,21 +85,35 @@ class ExecutionPlan:
         return len(self.kernels)
 
 
+def _aux_scale(device: DeviceSpec, kind: str) -> float:
+    """Measured correction for one auxiliary kernel kind.
+
+    A :class:`~repro.calibration.CalibratedDevice` exposes
+    ``aux_correction``; a plain spec has none, so the scale is 1.0 and
+    uncalibrated planning is untouched.
+    """
+    correction = getattr(device, "aux_correction", None)
+    if correction is None:
+        return 1.0
+    return float(correction(kind))
+
+
 def _dense_conv_latency(layer: LayerSpec, device: DeviceSpec) -> float:
     """Latency of one dense conv through cuDNN-style kernels."""
     if layer.kernel == 1:
         return pointwise_latency(
             layer.in_channels, layer.out_channels,
             layer.out_height, layer.out_width, device,
-        )
+        ) * _aux_scale(device, "pointwise")
     shape = ConvShape(
         c=layer.in_channels, n=layer.out_channels,
         h=layer.out_height, w=layer.out_width,
         r=layer.kernel, s=layer.kernel,
     )
     # Dense layers run the paper's baseline kernel, resolved through
-    # the registry like every other latency lookup.
-    return get_backend("cudnn").core_latency(shape, device)
+    # the registry like every other latency lookup (calibrated when
+    # the device carries measured correction factors).
+    return get_backend("cudnn").calibrated_latency(shape, device)
 
 
 def _aux_latency(layer: LayerSpec, device: DeviceSpec) -> Optional[PlannedKernel]:
@@ -109,12 +123,13 @@ def _aux_latency(layer: LayerSpec, device: DeviceSpec) -> Optional[PlannedKernel
             latency=pooling_latency(
                 layer.in_channels, layer.height, layer.width,
                 layer.kernel, layer.stride, device,
-            ),
+            ) * _aux_scale(device, "pool"),
         )
     if layer.kind == "fc":
         return PlannedKernel(
             layer=layer.name, kind="fc",
-            latency=fc_latency(layer.in_channels, layer.out_channels, device),
+            latency=fc_latency(layer.in_channels, layer.out_channels, device)
+            * _aux_scale(device, "fc"),
         )
     return None
 
@@ -142,7 +157,7 @@ def plan_dense_model(
                         latency=batchnorm_relu_latency(
                             layer.out_channels, layer.out_height,
                             layer.out_width, device,
-                        ),
+                        ) * _aux_scale(device, "bn_relu"),
                     )
                 )
         else:
@@ -205,7 +220,7 @@ def plan_model(
                     latency=pointwise_latency(
                         mod.in_channels, mod.rank_in,
                         site.height, site.width, device,
-                    ),
+                    ) * _aux_scale(device, "pointwise"),
                 )
             )
             core_shape = ConvShape(
@@ -226,7 +241,7 @@ def plan_model(
                     layer=f"{site.name}.pw2", kind="pointwise",
                     latency=pointwise_latency(
                         mod.rank_out, mod.out_channels, oh, ow, device,
-                    ),
+                    ) * _aux_scale(device, "pointwise"),
                 )
             )
         elif mod.kernel_size == 1:
@@ -235,7 +250,7 @@ def plan_model(
                     layer=site.name, kind="pointwise",
                     latency=pointwise_latency(
                         mod.in_channels, mod.out_channels, oh, ow, device,
-                    ),
+                    ) * _aux_scale(device, "pointwise"),
                 )
             )
         else:
@@ -246,7 +261,9 @@ def plan_model(
             plan.kernels.append(
                 PlannedKernel(
                     layer=site.name, kind="conv",
-                    latency=get_backend("cudnn").core_latency(shape, device),
+                    latency=get_backend("cudnn").calibrated_latency(
+                        shape, device
+                    ),
                     backend="cudnn",
                 )
             )
@@ -296,7 +313,7 @@ def plan_tucker_model(
                         latency=pointwise_latency(
                             layer.in_channels, d1, layer.height, layer.width,
                             device,
-                        ),
+                        ) * _aux_scale(device, "pointwise"),
                     )
                 )
                 core_shape = ConvShape(
@@ -318,7 +335,7 @@ def plan_tucker_model(
                         latency=pointwise_latency(
                             d2, layer.out_channels,
                             layer.out_height, layer.out_width, device,
-                        ),
+                        ) * _aux_scale(device, "pointwise"),
                     )
                 )
             else:
@@ -336,7 +353,7 @@ def plan_tucker_model(
                         latency=batchnorm_relu_latency(
                             layer.out_channels, layer.out_height,
                             layer.out_width, device,
-                        ),
+                        ) * _aux_scale(device, "bn_relu"),
                     )
                 )
         else:

@@ -12,7 +12,7 @@ oracle-vs-model gap of Sec. 5.5 (~25%), reproduced in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import ceil
+from math import ceil, log2
 
 import numpy as np
 
@@ -206,6 +206,21 @@ def memory_latency_batch(
     vol_output = shape.h * shape.w * shape.n * (-(-shape.c // tc))
     total = vol_input + vol_kernel + vol_output
     return total * FLOAT_BYTES / device.dram_bandwidth
+
+
+def shape_class(shape: ConvShape) -> str:
+    """Coarse equivalence class of a core-conv problem for calibration.
+
+    The hardware-calibration subsystem (:mod:`repro.calibration`) fits
+    one measured-vs-analytical correction factor per (backend, shape
+    class): individual shapes are too sparse to calibrate one by one,
+    while a single global factor washes out the model's shape-dependent
+    bias.  Classes group by filter extent (the algorithmic regime —
+    Winograd/FFT/direct behave differently per R x S) and by the
+    power-of-two bucket of useful FLOPs (the size regime — Eq. 14's
+    wave quantization biases small and large problems differently).
+    """
+    return f"{shape.r}x{shape.s}/2^{int(log2(shape.flops()))}"
 
 
 def estimate(shape: ConvShape, tiling: Tiling, device: DeviceSpec) -> AnalyticalEstimate:

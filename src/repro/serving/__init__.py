@@ -4,25 +4,34 @@ Executables.
 ``plan → compile → execute → serve``: this package is the last stage —
 :class:`InferenceSession` queues single-sample requests over one
 :class:`~repro.inference.Executable`, :class:`SessionRegistry` deploys
-model presets end to end (decompose → warm → plan → compile → serve).
+model presets end to end (decompose → warm → plan → compile → serve)
+and closes the predicted↔measured loop:
+:meth:`SessionRegistry.recalibrate` measures a live session, fits
+calibration factors (:mod:`repro.calibration`), re-plans, and
+hot-swaps the executable; :class:`AutoReplanPolicy` triggers that loop
+automatically on sustained measured-vs-predicted drift.
 """
 
 from repro.serving.session import (
+    AutoReplanPolicy,
     DEFAULT_REGISTRY,
     InferenceSession,
     SessionRegistry,
     SessionStats,
     create_session,
     get_session,
+    latency_quantile,
     warm_for_model,
 )
 
 __all__ = [
+    "AutoReplanPolicy",
     "DEFAULT_REGISTRY",
     "InferenceSession",
     "SessionRegistry",
     "SessionStats",
     "create_session",
     "get_session",
+    "latency_quantile",
     "warm_for_model",
 ]

@@ -214,7 +214,8 @@ def test_arena_rejects_duplicate_names():
     with pytest.raises(ValueError, match="already allocated"):
         arena.allocate("a", (2, 2))
     assert arena.n_buffers == 1
-    assert arena.nbytes == 4 * 8
+    # Default arena dtype is float32, the device execution dtype.
+    assert arena.nbytes == 4 * 4
 
 
 # ---------------------------------------------------------------------------

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -11,7 +12,13 @@ from repro.codesign.pipeline import decompose_for_device
 from repro.gpusim.device import A100
 from repro.inference import compile_model
 from repro.models.registry import build_model
-from repro.serving import InferenceSession, SessionRegistry, warm_for_model
+from repro.serving import (
+    AutoReplanPolicy,
+    InferenceSession,
+    SessionRegistry,
+    latency_quantile,
+    warm_for_model,
+)
 
 IMAGE_HW = (8, 8)
 
@@ -161,6 +168,296 @@ def test_close_rejects_queued_requests_instead_of_hanging():
     session.close()
     with pytest.raises(RuntimeError, match="session closed"):
         handle.result(timeout=5.0)
+
+
+def test_stats_window_is_bounded_under_sustained_load():
+    """Heavy traffic must not grow the latency history without bound
+    (and quantiles are computed over the bounded window)."""
+    _, exe = make_executable(max_batch=4)
+    with InferenceSession(exe, stats_window=64) as session:
+        xs = np.random.default_rng(5).standard_normal((200, 3) + IMAGE_HW)
+        for x in xs:
+            session.infer(x, timeout=30.0)
+        stats = session.stats()
+        assert stats.requests == 200
+        assert stats.latency_window == 64
+        assert len(session._latencies) == 64
+        assert session._latencies.capacity == 64
+        assert stats.mean_latency_s > 0
+        assert stats.p50_latency_s <= stats.p95_latency_s
+
+
+def test_p95_is_a_real_quantile_not_the_max():
+    """n=20 used to index lat[19] — the maximum, i.e. p100."""
+    values = np.arange(1.0, 21.0)  # 20 distinct latencies
+    p95 = latency_quantile(values, 0.95)
+    assert p95 < values.max()
+    assert p95 == pytest.approx(np.quantile(values, 0.95))
+    assert latency_quantile(np.array([]), 0.95) == 0.0
+    assert latency_quantile(np.array([3.0]), 0.95) == 3.0
+
+    # End to end: inject a known window and read stats().
+    _, exe = make_executable()
+    with InferenceSession(exe) as session:
+        with session._lock:
+            session._latencies.extend(values)
+        stats = session.stats()
+    assert stats.p95_latency_s == pytest.approx(np.quantile(values, 0.95))
+    assert stats.p95_latency_s < values.max()
+    assert stats.p50_latency_s == pytest.approx(np.quantile(values, 0.50))
+
+
+def test_infer_many_timeout_is_a_shared_deadline():
+    """timeout=T bounds the whole call, not T per handle."""
+    _, exe = make_executable(max_batch=1)
+    real_run = exe.run
+
+    def slow_run(x):
+        time.sleep(0.08)
+        return real_run(x)
+
+    exe.run = slow_run
+    session = InferenceSession(exe, batch_window_s=0.0, warm=False)
+    try:
+        xs = np.random.default_rng(6).standard_normal((10, 3) + IMAGE_HW)
+        t0 = time.perf_counter()
+        with pytest.raises(TimeoutError):
+            session.infer_many(list(xs), timeout=0.2)
+        elapsed = time.perf_counter() - t0
+        # Per-handle semantics would have served all 10 at ~80 ms each
+        # without ever timing out (~0.8 s); the shared deadline fires
+        # at ~0.2 s.
+        assert elapsed < 0.6
+    finally:
+        session.close()
+
+
+def _cast_model(model, dtype):
+    for p in model.parameters():
+        p.data = p.data.astype(dtype)
+        p.grad = p.grad.astype(dtype)
+    for mod in model.modules():
+        buffers = getattr(mod, "_buffers", None)
+        if buffers:
+            for key, value in buffers.items():
+                buffers[key] = np.asarray(value).astype(dtype)
+    return model
+
+
+def test_arena_dtype_follows_model_and_serving_never_casts():
+    """A float32 model compiles a float32 arena (half the bytes) and
+    the serving steady state performs zero hot-path casts."""
+    model64, exe64 = make_executable(max_batch=2)
+    assert exe64.dtype == np.float64  # the training stack is float64
+
+    model32 = _cast_model(build_model("resnet_tiny", seed=0), np.float32)
+    decompose_for_device(model32, A100, IMAGE_HW, budget=0.5, rank_step=2)
+    _cast_model(model32, np.float32)  # decomposition re-derives float64
+    model32.eval()
+    exe32 = compile_model(
+        model32, A100, image_hw=IMAGE_HW, core_backend="auto",
+        max_batch=2, model_name="resnet_tiny",
+    )
+    assert exe32.dtype == np.float32
+    assert exe32.arena.nbytes < exe64.arena.nbytes
+
+    rng = np.random.default_rng(7)
+    xs = rng.standard_normal((8, 3) + IMAGE_HW)  # float64 requests
+    ref = model64.forward(xs)
+    with InferenceSession(exe32) as session:
+        ys = session.infer_many(list(xs), timeout=30.0)
+        # Staging converts dtypes up front; Executable.run never casts.
+        assert session.executable.hot_casts == 0
+    assert ys[0].dtype == np.float32
+    np.testing.assert_allclose(np.stack(ys), ref, atol=1e-3, rtol=1e-3)
+
+
+def test_recalibrate_hot_swaps_under_concurrent_traffic():
+    """The acceptance criterion: zero failed or diverging requests
+    while the executable is re-planned and swapped."""
+    from repro.calibration import calibration_cache
+
+    registry = SessionRegistry()
+    calibration_cache().clear()
+    try:
+        session = registry.create(
+            "resnet_tiny", A100, image_hw=IMAGE_HW, budget=0.5,
+            max_batch=4,
+        )
+        name = registry.names()[0]
+        model = registry._deployments[name].model
+        rng = np.random.default_rng(8)
+        xs = rng.standard_normal((16, 3) + IMAGE_HW)
+        ref = model.forward(xs)
+        errors = []
+        outputs = [None] * 4
+
+        def client(i):
+            try:
+                got = []
+                for _ in range(6):
+                    for x in xs[i * 4 : (i + 1) * 4]:
+                        got.append(session.infer(x, timeout=30.0))
+                outputs[i] = got
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        old_exe = session.executable
+        run = registry.recalibrate(name, repeats=2)
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        assert session.executable is not old_exe
+        assert session.stats().replans == 1
+        assert run.total_measured_s > 0
+        for i in range(4):
+            for j, y in enumerate(outputs[i]):
+                np.testing.assert_allclose(
+                    y, ref[i * 4 + j % 4], atol=1e-6,
+                )
+        # Post-swap requests still match Module.forward.
+        y = session.infer(xs[0], timeout=30.0)
+        np.testing.assert_allclose(y, ref[0], atol=1e-6)
+        # The swapped-in plan is calibrated: its predicted latency is
+        # in measured (CPU wall) territory, not raw simulated-GPU.
+        assert session.executable.predicted_latency() > (
+            old_exe.predicted_latency()
+        )
+    finally:
+        registry.close_all()
+        calibration_cache().clear()
+
+
+def test_recalibrate_requires_deployment_record():
+    _, exe = make_executable()
+    registry = SessionRegistry()
+    try:
+        registry.add("manual", InferenceSession(exe))
+        with pytest.raises(KeyError, match="deployment record"):
+            registry.recalibrate("manual")
+    finally:
+        registry.close_all()
+
+
+def test_swap_to_smaller_max_batch_chunks_inflight_batch():
+    """A batch collected at the old max_batch must survive a shrink
+    swap: the worker chunks it to the new executable's limit."""
+    model, exe4 = make_executable(max_batch=4)
+    exe1 = compile_model(
+        model, A100, image_hw=IMAGE_HW, core_backend="auto",
+        max_batch=1, model_name="resnet_tiny",
+    )
+    rng = np.random.default_rng(10)
+    xs = rng.standard_normal((4, 3) + IMAGE_HW)
+    ref = model.forward(xs)
+    session = InferenceSession(exe4, batch_window_s=0.5)
+    try:
+        with session.paused():
+            handles = [session.submit(x) for x in xs]
+            # Let the worker collect all four, then block on the lock.
+            time.sleep(0.7)
+            session.swap_executable(exe1)  # re-entrant: same thread
+        results = [h.result(timeout=30.0) for h in handles]
+        np.testing.assert_allclose(np.stack(results), ref, atol=1e-8)
+        assert session.max_batch == 1
+    finally:
+        session.close()
+
+
+def test_raising_on_replan_callback_does_not_kill_worker():
+    """A user callback that raises must be contained: the worker keeps
+    serving and the pending latch resets."""
+    _, exe = make_executable(max_batch=2)
+
+    def bad_callback(_session):
+        raise RuntimeError("boom")
+
+    session = InferenceSession(
+        exe,
+        auto_replan=AutoReplanPolicy(threshold=0.01, window=1,
+                                     cooldown_s=0.0),
+        on_replan=bad_callback,
+    )
+    try:
+        rng = np.random.default_rng(11)
+        xs = rng.standard_normal((6, 3) + IMAGE_HW)
+        for x in xs:  # every request would re-trigger the callback
+            session.infer(x, timeout=30.0)
+        assert session.stats().requests == 6
+        assert session._replan_pending is False
+    finally:
+        session.close()
+
+
+def test_drift_ring_covers_the_policy_window():
+    """A policy window larger than the drift ring would gate forever;
+    the session sizes the ring up to cover it."""
+    _, exe = make_executable()
+    session = InferenceSession(
+        exe, drift_window=8,
+        auto_replan=AutoReplanPolicy(window=32, cooldown_s=1e9),
+    )
+    try:
+        assert session._drift.capacity >= 32
+    finally:
+        session.close()
+
+
+def test_swap_rejects_mismatched_input_shape():
+    _, exe_a = make_executable()
+    model_b = build_model("resnet_tiny", seed=0).eval()
+    exe_b = compile_model(
+        model_b, A100, image_hw=(16, 16), core_backend="cudnn",
+        max_batch=2, model_name="resnet_tiny",
+    )
+    session = InferenceSession(exe_a)
+    try:
+        with pytest.raises(ValueError, match="input shape"):
+            session.swap_executable(exe_b)
+    finally:
+        session.close()
+
+
+def test_auto_replan_policy_triggers_on_drift():
+    """Raw simulated-GPU predictions drift far from CPU wall time, so
+    an aggressive policy must recalibrate within a few requests —
+    after which drift re-centers near 1."""
+    from repro.calibration import calibration_cache
+
+    registry = SessionRegistry()
+    calibration_cache().clear()
+    try:
+        session = registry.create(
+            "resnet_tiny", A100, image_hw=IMAGE_HW, budget=0.5,
+            max_batch=2, name="drift-test",
+            auto_replan=AutoReplanPolicy(
+                threshold=0.25, window=3, cooldown_s=0.0
+            ),
+        )
+        rng = np.random.default_rng(9)
+        xs = rng.standard_normal((40, 3) + IMAGE_HW)
+        deadline = time.perf_counter() + 60.0
+        i = 0
+        while time.perf_counter() < deadline:
+            session.infer(xs[i % 40], timeout=30.0)
+            i += 1
+            if session.stats().replans >= 1:
+                break
+        stats = session.stats()
+        assert stats.replans >= 1, (
+            f"policy never fired after {i} requests (drift "
+            f"{session.drift_ratio():.2f})"
+        )
+        assert stats.requests == i
+    finally:
+        registry.close_all()
+        calibration_cache().clear()
 
 
 def test_warm_for_model_covers_tucker_cores():
