@@ -1,0 +1,125 @@
+"""Format-selection benchmark: mixed-format plans vs each single format.
+
+For every (model, preset device) pair, rank selection runs four times
+under the same latency budget: restricted to each single format
+(tucker, cp, tt) and with ``formats="all"`` (per-site fastest).  The
+end-to-end simulated latency of the compressed network is compared
+under one core backend.
+
+The correctness contract mirrors auto backend dispatch: the
+mixed-format plan must never be slower than the best single format —
+per site the search picks the format-wise fastest candidate under the
+site's budget share, so a mixed plan degenerating to the best single
+format is the worst case.  The script exits non-zero on violation.
+
+Results are written to ``BENCH_format_selection.json`` so future PRs
+can track the mixed-vs-single margins and per-format win counts.
+
+Run:  PYTHONPATH=src python benchmarks/bench_format_selection.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+
+from repro.experiments.common import MODEL_BUDGETS
+from repro.gpusim.device import get_device
+from repro.inference.engine import estimate_e2e
+from repro.models.arch_specs import get_model_spec
+from repro.tensor.formats import FACTORED_FORMATS
+
+MODELS = ("resnet18", "resnet50", "vgg16", "densenet121")
+QUICK_MODELS = ("resnet18",)
+DEVICES = ("A100", "2080Ti")
+QUICK_DEVICES = ("A100",)
+BACKEND = "tdc-model"
+
+
+def bench_pair(model: str, device) -> dict:
+    spec = get_model_spec(model)
+    budget = MODEL_BUDGETS.get(model, 0.6)
+
+    single = {}
+    for fmt in FACTORED_FORMATS:
+        res = estimate_e2e(
+            spec, device, budget=budget, backends=(BACKEND,), formats=(fmt,),
+        )
+        single[fmt] = res.latency(BACKEND)
+
+    mixed_res = estimate_e2e(
+        spec, device, budget=budget, backends=(BACKEND,), formats="all",
+    )
+    mixed = mixed_res.latency(BACKEND)
+    wins = Counter(
+        d.format for d in mixed_res.rank_plan.decisions if d.decomposed
+    )
+
+    best_fmt = min(single, key=single.get)
+    best_single = single[best_fmt]
+    ok = mixed <= best_single + 1e-12
+    print(
+        f"  {model:12s} @ {device.name:6s} mixed {mixed * 1e3:7.3f} ms  "
+        f"best single [{best_fmt}] {best_single * 1e3:7.3f} ms  "
+        f"wins {dict(wins)}  {'OK' if ok else 'VIOLATION'}"
+    )
+    for fmt, lat in single.items():
+        print(f"    {fmt:>8s}-only  e2e {lat * 1e3:8.3f} ms")
+
+    return {
+        "model": model,
+        "device": device.name,
+        "budget": budget,
+        "original_latency_s": mixed_res.latency("original"),
+        "single_format_latency_s": single,
+        "mixed_latency_s": mixed,
+        "best_single_format": best_fmt,
+        "mixed_speedup_vs_best_single": best_single / mixed,
+        "format_wins": dict(wins),
+        "mixed_not_slower": ok,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="one model, one device (CI smoke)")
+    parser.add_argument("--json-path", default="BENCH_format_selection.json")
+    args = parser.parse_args(argv)
+
+    models = QUICK_MODELS if args.quick else MODELS
+    devices = QUICK_DEVICES if args.quick else DEVICES
+
+    print(f"Format selection (backend: {BACKEND}, "
+          f"formats: {', '.join(FACTORED_FORMATS)}):")
+    pairs = [
+        bench_pair(model, get_device(name))
+        for name in devices
+        for model in models
+    ]
+    results = {
+        "backend": BACKEND,
+        "formats": list(FACTORED_FORMATS),
+        "quick": args.quick,
+        "pairs": pairs,
+    }
+    with open(args.json_path, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.json_path}")
+
+    violations = [
+        f"{p['model']}@{p['device']}" for p in pairs
+        if not p["mixed_not_slower"]
+    ]
+    if violations:
+        print(f"FAIL: mixed-format plan slower than the best single "
+              f"format on {violations}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""CI smoke for the decomposition-format planning axis.
+
+Three drift checks:
+
+1. **Coverage** — rank selection with ``formats="all"`` over the
+   paper's model specs on both preset devices should let *every*
+   registered format (tucker/cp/tt) win at least one site somewhere in
+   the grid.  A format that never wins gets its best margin vs the
+   winner logged; the job only fails when that margin exceeds 3x — a
+   format that far off everywhere means mispriced latency or broken
+   candidate enumeration, not a close call.
+2. **Plan quality** — the mixed-format plan's end-to-end latency must
+   not exceed the Tucker-only plan's on any (model, device) pair (the
+   search degenerates to Tucker when Tucker wins every site).
+3. **Numeric equivalence** — the tiny trainable preset is decomposed
+   with ``formats="all"``, compiled, and ``Executable.run`` must match
+   ``Module.forward`` to tight float tolerance.
+
+Run:  PYTHONPATH=src python scripts/formats_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+
+import numpy as np
+
+from repro.codesign.pipeline import decompose_for_device
+from repro.experiments.common import E2E_MODELS, MODEL_BUDGETS
+from repro.gpusim.device import get_device
+from repro.inference import compile_plan, plan_model
+from repro.inference.engine import estimate_e2e
+from repro.models.introspection import trace_layer_sites
+from repro.models.registry import build_model
+from repro.tensor.formats import FACTORED_FORMATS
+
+SMOKE_DEVICES = ("A100", "2080Ti")
+SMOKE_BACKEND = ("tdc-model",)
+IMAGE_HW = (8, 8)
+
+
+def check_coverage_and_quality() -> None:
+    wins: Counter = Counter()
+    margins: dict = {}
+    for device_name in SMOKE_DEVICES:
+        device = get_device(device_name)
+        for model in E2E_MODELS:
+            from repro.models.arch_specs import get_model_spec
+
+            spec = get_model_spec(model)
+            budget = MODEL_BUDGETS.get(model, 0.6)
+            mixed = estimate_e2e(
+                spec, device, budget=budget, backends=SMOKE_BACKEND,
+                formats="all",
+            )
+            tucker = estimate_e2e(
+                spec, device, budget=budget, backends=SMOKE_BACKEND,
+            )
+            for d in mixed.rank_plan.decisions:
+                if d.decomposed:
+                    wins[d.format] += 1
+            mixed_lat = mixed.latency(SMOKE_BACKEND[0])
+            tucker_lat = tucker.latency(SMOKE_BACKEND[0])
+            print(
+                f"{model:>14s} @ {device_name}: mixed "
+                f"{mixed_lat * 1e3:.3f} ms vs tucker-only "
+                f"{tucker_lat * 1e3:.3f} ms"
+            )
+            if mixed_lat > tucker_lat * (1 + 1e-9):
+                raise SystemExit(
+                    f"FAIL: mixed-format plan slower than Tucker-only "
+                    f"for {model} on {device_name} "
+                    f"({mixed_lat:.3e}s > {tucker_lat:.3e}s)"
+                )
+            # Track how close each losing format came, for diagnostics.
+            from repro.codesign.format_search import layer_format_candidates
+            from repro.codesign.pipeline import layer_shapes_from_spec
+
+            for layer in layer_shapes_from_spec(spec):
+                _, cands = layer_format_candidates(
+                    layer, device, formats=FACTORED_FORMATS,
+                )
+                if not cands:
+                    continue
+                best = min(c.total_latency for c in cands)
+                for fmt in FACTORED_FORMATS:
+                    fmt_best = min(
+                        (c.total_latency for c in cands if c.format == fmt),
+                        default=None,
+                    )
+                    if fmt_best is not None:
+                        ratio = fmt_best / best
+                        if fmt not in margins or ratio < margins[fmt]:
+                            margins[fmt] = ratio
+
+    print(f"format wins across the grid: {dict(wins)}")
+    missing = [f for f in FACTORED_FORMATS if wins[f] == 0]
+    for fmt in missing:
+        margin = margins.get(fmt, float("inf"))
+        print(
+            f"  {fmt}: never selected; best margin vs winner "
+            f"{margin:.3f}x"
+        )
+        if margin > 3.0:
+            raise SystemExit(
+                f"FAIL: format {fmt!r} won zero sites and its best "
+                f"candidate is {margin:.2f}x off the winner everywhere "
+                f"— mispriced latency or broken candidates"
+            )
+
+
+def check_numeric_equivalence() -> None:
+    model = build_model("resnet_tiny", seed=0)
+    model, _, format_map = decompose_for_device(
+        model, get_device("A100"), IMAGE_HW, budget=0.5, rank_step=2,
+        formats="all",
+    )
+    model.eval()
+    print(f"resnet_tiny decomposition: {format_map}")
+    device = get_device("A100")
+    sites = trace_layer_sites(model, IMAGE_HW, in_channels=3)
+    plan = plan_model(model, device, IMAGE_HW, sites=sites)
+    exe = compile_plan(
+        plan, model, device, image_hw=IMAGE_HW, max_batch=2, sites=sites,
+    )
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((2, 3) + IMAGE_HW)
+    ref = model.forward(x)
+    err = float(np.abs(exe.run(x) - ref).max())
+    print(f"compiled mixed-format max |err| = {err:.3e}")
+    if err > 1e-9:
+        raise SystemExit(
+            f"FAIL: compiled mixed-format executable diverges from "
+            f"Module.forward (max |err| = {err:.3e})"
+        )
+
+
+def main() -> int:
+    check_coverage_and_quality()
+    check_numeric_equivalence()
+    print("formats smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
              "paper's four compressed variants)",
     )
     e2e.add_argument(
+        "--formats", nargs="+", default=None, metavar="FORMAT",
+        help="decomposition formats to search per site (names like "
+             "tucker/cp/tt, or 'all'); default: tucker only",
+    )
+    e2e.add_argument(
         "--measure", action="store_true",
         help="also compile the tiny trainable presets and report "
              "measured (numeric CPU) vs predicted (simulated) wall time "
@@ -515,14 +520,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments import e2e
 
         device = get_device(args.device)
+        formats = args.formats
+        if formats is not None and len(formats) == 1:
+            formats = formats[0]  # lets "--formats all" hit the alias
         results = e2e.run_models(
-            device, models=args.models, backends=args.backend
+            device, models=args.models, backends=args.backend,
+            formats=formats if formats is not None else ("tucker",),
         )
         print(e2e.results_table(results, device).render())
         auto_table = e2e.auto_dispatch_summary(results, device)
         if auto_table is not None:
             print()
             print(auto_table.render())
+        format_table = e2e.format_summary(results, device)
+        if format_table is not None:
+            print()
+            print(format_table.render())
         if args.measure:
             print()
             print(e2e.measured_vs_predicted(

@@ -1,0 +1,255 @@
+"""Format x rank candidate enumeration for Algorithm 1.
+
+Generalizes the per-layer performance table: instead of only Tucker's
+``(D1, D2)`` grid, every registered decomposition format contributes
+its rank candidates, each costed as the sum of its kernel chain's
+analytical latencies on the target device:
+
+- ``tucker``: 1x1 + TDC core (tiling-selected) + 1x1 — taken straight
+  from :func:`repro.codesign.table.build_performance_table`, so the
+  numbers (and the memoized cache) are identical to the legacy path;
+- ``cp``: 1x1 + depthwise + 1x1;
+- ``tt``: 1x1 + depthwise + group-sum (memory-bound) + 1x1.
+
+All stage latencies are evaluated at the layer's core-conv extent
+(``LayerShape.h/w`` = output resolution), matching the Tucker-table
+convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.backends import get_backend
+from repro.codesign.flops import cp_flops, cp_params, tt_flops, tt_params, tucker_params
+from repro.codesign.rank_selection import LayerShape
+from repro.codesign.table import build_performance_table
+from repro.gpusim.device import DeviceSpec
+from repro.kernels.base import FLOAT_BYTES, ConvShape
+from repro.kernels.depthwise import DepthwiseConvKernel
+from repro.kernels.pointwise import memory_bound_op_latency, pointwise_latency
+from repro.kernels.tdc_direct import Tiling
+from repro.tensor.formats import get_format, resolve_formats
+
+
+@dataclass(frozen=True)
+class FormatCandidate:
+    """One (format, ranks) point in the generalized performance table."""
+
+    format: str
+    ranks: Tuple[int, ...]
+    pw1_latency: float       # 1x1 input projection
+    core_latency: float      # middle stage (core conv / depthwise [+ group-sum])
+    pw2_latency: float       # 1x1 output projection
+    flops: int
+    params: int
+    tiling: Optional[Tiling] = None   # Tucker core tiling, None otherwise
+
+    @property
+    def total_latency(self) -> float:
+        return self.pw1_latency + self.core_latency + self.pw2_latency
+
+
+# (format, shape tuple, device fingerprint, rank_step, method) -> candidates.
+# The Tucker rows additionally hit the persistent table cache; CP/TT rows
+# are cheap to build but planning sweeps revisit the same shapes a lot.
+_CANDIDATE_CACHE: Dict[tuple, List[FormatCandidate]] = {}
+
+
+def _depthwise_latency(
+    channels: int, h: int, w: int, r: int, s: int, device: DeviceSpec
+) -> float:
+    shape = ConvShape(c=channels, n=channels, h=h, w=w, r=r, s=s)
+    return DepthwiseConvKernel().latency(shape, device)
+
+
+def _tucker_candidates(
+    layer: LayerShape, device: DeviceSpec, rank_step: int, method: str
+) -> List[FormatCandidate]:
+    table = build_performance_table(
+        layer.c, layer.n, layer.h, layer.w, device,
+        r=layer.r, s=layer.s, rank_step=rank_step, method=method,
+    )
+    return [
+        FormatCandidate(
+            format="tucker",
+            ranks=(e.d1, e.d2),
+            pw1_latency=e.pw1_latency,
+            core_latency=e.core_latency,
+            pw2_latency=e.pw2_latency,
+            flops=e.flops,
+            params=tucker_params(
+                layer.c, layer.n, e.d1, e.d2, layer.r, layer.s
+            ),
+            tiling=e.tiling,
+        )
+        for e in table.entries
+    ]
+
+
+def _cp_candidates(
+    layer: LayerShape, device: DeviceSpec, rank_step: int
+) -> List[FormatCandidate]:
+    fmt = get_format("cp")
+    out: List[FormatCandidate] = []
+    pw1_memo: Dict[int, float] = {}
+    for ranks in fmt.rank_candidates(layer.c, layer.n, layer.r, layer.s, rank_step):
+        (q,) = ranks
+        if q not in pw1_memo:
+            pw1_memo[q] = pointwise_latency(layer.c, q, layer.h, layer.w, device)
+        out.append(
+            FormatCandidate(
+                format="cp",
+                ranks=ranks,
+                pw1_latency=pw1_memo[q],
+                core_latency=_depthwise_latency(
+                    q, layer.h, layer.w, layer.r, layer.s, device
+                ),
+                pw2_latency=pointwise_latency(
+                    q, layer.n, layer.h, layer.w, device
+                ),
+                flops=cp_flops(
+                    layer.c, layer.n, layer.h, layer.w, q, layer.r, layer.s
+                ),
+                params=cp_params(layer.c, layer.n, q, layer.r, layer.s),
+            )
+        )
+    return out
+
+
+def _tt_candidates(
+    layer: LayerShape, device: DeviceSpec, rank_step: int
+) -> List[FormatCandidate]:
+    fmt = get_format("tt")
+    out: List[FormatCandidate] = []
+    pw1_memo: Dict[int, float] = {}
+    mid_memo: Dict[Tuple[int, int], float] = {}
+    pw2_memo: Dict[int, float] = {}
+    map_bytes = layer.h * layer.w * FLOAT_BYTES
+    for ranks in fmt.rank_candidates(layer.c, layer.n, layer.r, layer.s, rank_step):
+        r1, r2 = ranks
+        q = r1 * r2
+        if q not in pw1_memo:
+            pw1_memo[q] = pointwise_latency(layer.c, q, layer.h, layer.w, device)
+        if (q, r2) not in mid_memo:
+            mid = _depthwise_latency(
+                q, layer.h, layer.w, layer.r, layer.s, device
+            )
+            if r2 > 1:
+                # Group-sum r1*r2 -> r1: reads the full depthwise output,
+                # writes the collapsed map.
+                mid += memory_bound_op_latency(
+                    q * map_bytes, (q // r2) * map_bytes, device
+                )
+            mid_memo[(q, r2)] = mid
+        if r1 not in pw2_memo:
+            pw2_memo[r1] = pointwise_latency(
+                r1, layer.n, layer.h, layer.w, device
+            )
+        out.append(
+            FormatCandidate(
+                format="tt",
+                ranks=ranks,
+                pw1_latency=pw1_memo[q],
+                core_latency=mid_memo[(q, r2)],
+                pw2_latency=pw2_memo[r1],
+                flops=tt_flops(
+                    layer.c, layer.n, layer.h, layer.w, r1, r2,
+                    layer.r, layer.s,
+                ),
+                params=tt_params(layer.c, layer.n, r1, r2, layer.r, layer.s),
+            )
+        )
+    return out
+
+
+def layer_format_candidates(
+    layer: LayerShape,
+    device: DeviceSpec,
+    formats: Sequence[str],
+    rank_step: int = 32,
+    method: str = "model",
+) -> Tuple[float, List[FormatCandidate]]:
+    """All (format, ranks) candidates for one layer, plus the dense
+    layer's cuDNN latency for the θ rule.
+
+    ``formats`` must already be resolved names (see
+    :func:`repro.tensor.formats.resolve_formats`).  Candidate lists are
+    memoized per (format, shape, device, step, method).
+    """
+    formats = resolve_formats(formats)
+    shape_key = (layer.c, layer.n, layer.h, layer.w, layer.r, layer.s)
+    fingerprint = device.fingerprint()
+
+    candidates: List[FormatCandidate] = []
+    for name in formats:
+        key = (name, shape_key, fingerprint, rank_step, method)
+        cached = _CANDIDATE_CACHE.get(key)
+        if cached is None:
+            if name == "tucker":
+                cached = _tucker_candidates(layer, device, rank_step, method)
+            elif name == "cp":
+                cached = _cp_candidates(layer, device, rank_step)
+            elif name == "tt":
+                cached = _tt_candidates(layer, device, rank_step)
+            else:
+                raise ValueError(
+                    f"format {name!r} is registered but has no analytical "
+                    f"cost model in layer_format_candidates"
+                )
+            _CANDIDATE_CACHE[key] = cached
+        candidates.extend(cached)
+
+    if "tucker" in formats:
+        # The table memoizes the dense baseline; reuse it.
+        original = build_performance_table(
+            layer.c, layer.n, layer.h, layer.w, device,
+            r=layer.r, s=layer.s, rank_step=rank_step, method=method,
+        ).original_latency
+    else:
+        dense_shape = ConvShape(
+            c=layer.c, n=layer.n, h=layer.h, w=layer.w, r=layer.r, s=layer.s
+        )
+        original = get_backend("cudnn").core_latency(dense_shape, device)
+    return original, candidates
+
+
+def best_format_under_budget(
+    candidates: Sequence[FormatCandidate],
+    max_flops: float,
+    latency_tolerance: float = 0.12,
+) -> Optional[FormatCandidate]:
+    """Alg. 1 line 3 across formats: each format resolves its latency
+    plateau toward the most parameters, then the formats' resolved
+    picks compete on latency alone.
+
+    Parameter count is the per-format analog of "largest ranks":
+    within one format's latency plateau, more retained parameters
+    preserve more accuracy.  The *cross-format* comparison is strict
+    min-latency over those accuracy-resolved picks — this keeps the
+    mixed-format search dominant: per site it returns exactly the
+    fastest of the single-format-restricted choices, so a mixed plan
+    can never be slower than the best single-format plan under the
+    same budget shares.
+    """
+    feasible = [c for c in candidates if c.flops <= max_flops]
+    if not feasible:
+        return None
+    per_format: Dict[str, List[FormatCandidate]] = {}
+    for c in feasible:
+        per_format.setdefault(c.format, []).append(c)
+    picks = []
+    for group in per_format.values():
+        fastest = min(c.total_latency for c in group)
+        plateau = [
+            c for c in group
+            if c.total_latency <= fastest * (1.0 + latency_tolerance)
+        ]
+        picks.append(max(plateau, key=lambda c: (c.params, -c.total_latency)))
+    return min(picks, key=lambda c: (c.total_latency, -c.params))
+
+
+def clear_candidate_cache() -> None:
+    """Drop memoized candidate lists (used by tests/benchmarks)."""
+    _CANDIDATE_CACHE.clear()

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.codesign.rank_selection import LayerShape, RankPlan, select_ranks
 from repro.compression.admm import ADMMTrainer
-from repro.compression.baselines import decompose_model
+from repro.compression.baselines import decompose_model, decompose_model_formats
 from repro.compression.training import TrainHistory, evaluate, train_model
 from repro.data.synthetic import Dataset
 from repro.gpusim.device import DeviceSpec
@@ -79,16 +79,24 @@ def decompose_for_device(
     method: str = "model",
     min_channels: int = 1,
     n_iter: int = 10,
-) -> Tuple[Module, RankPlan, Dict[str, Tuple[int, int]]]:
+    formats: object = ("tucker",),
+) -> Tuple[Module, RankPlan, Dict[str, Tuple[str, Tuple[int, ...]]]]:
     """Hardware-aware decomposition without the training phases.
 
     Runs Algorithm 1's rank selection against the device and
-    hard-decomposes the chosen convs in place (HOOI, no ADMM and no
+    hard-decomposes the chosen convs in place (no ADMM and no
     fine-tuning) — the entry the serving/compile path uses to produce
-    a Tucker-format model whose ranks match the device.  Returns
-    ``(model, rank_plan, rank_map)``; raises when the model has no
-    decomposable convs or the plan decomposes nothing.
+    a factored model whose ranks match the device.  ``formats`` widens
+    the search beyond Tucker (``"auto"``/``"all"`` or an explicit name
+    list); the chosen layers may then mix Tucker/CP/TT modules.
+
+    Returns ``(model, rank_plan, format_map)`` where ``format_map``
+    maps layer names to ``(format, ranks)``; raises when the model has
+    no decomposable convs or the plan decomposes nothing.
     """
+    from repro.tensor.formats import resolve_formats
+
+    formats = resolve_formats(formats)
     sites = trace_conv_sites(
         model, image_hw, in_channels=in_channels, min_channels=min_channels,
     )
@@ -97,19 +105,25 @@ def decompose_for_device(
     plan = select_ranks(
         layer_shapes_from_sites(sites), device,
         budget=budget, theta=theta, rank_step=rank_step, method=method,
+        formats=formats,
     )
-    rank_map: Dict[str, Tuple[int, int]] = {
-        d.layer.name: (int(d.d2), int(d.d1))
-        for d in plan.decisions
-        if d.decomposed
-    }
-    if not rank_map:
-        raise ValueError(
-            "rank selection decomposed no layers — budget too small or "
-            "θ rule skipped everything"
+    format_map: Dict[str, Tuple[str, Tuple[int, ...]]] = {}
+    for d in plan.decisions:
+        if not d.decomposed:
+            continue
+        ranks = d.ranks if d.ranks is not None else (int(d.d1), int(d.d2))
+        format_map[d.layer.name] = (d.format, tuple(int(r) for r in ranks))
+    if not format_map:
+        rejections = "; ".join(
+            f"{d.layer.name}: {d.reason}" for d in plan.decisions
         )
-    decompose_model(model, rank_map, n_iter=n_iter)
-    return model, plan, rank_map
+        raise ValueError(
+            f"rank selection with formats {list(formats)} decomposed no "
+            f"layers — budget too small or θ rule skipped everything "
+            f"(per-site outcome: {rejections})"
+        )
+    decompose_model_formats(model, format_map, n_iter=n_iter)
+    return model, plan, format_map
 
 
 @dataclass

@@ -48,7 +48,7 @@ class RankDecision:
     """Outcome of Algorithm 1 for one layer."""
 
     layer: LayerShape
-    d1: Optional[int]            # None => layer left dense
+    d1: Optional[int]            # None => layer left dense or non-Tucker
     d2: Optional[int]
     tucker_latency: float        # t1 (= original latency when skipped)
     original_latency: float      # t2
@@ -56,10 +56,16 @@ class RankDecision:
     compressed_flops: int        # = dense_flops when skipped
     # "selected" | "theta_skip" | "no_candidate" | "not_decomposable"
     reason: str
+    # Which decomposition format was chosen (meaningful when decomposed;
+    # "tucker" for every legacy decision).
+    format: str = "tucker"
+    # Format-generic rank tuple: (d1, d2) for Tucker, (q,) for CP,
+    # (r1, r2) for TT.  None when the layer stays dense.
+    ranks: Optional[Tuple[int, ...]] = None
 
     @property
     def decomposed(self) -> bool:
-        return self.d1 is not None
+        return self.d1 is not None or self.ranks is not None
 
     @property
     def reduction(self) -> float:
@@ -115,6 +121,7 @@ def select_ranks(
     rank_step: int = 32,
     method: str = "model",
     max_layer_reduction: float = 0.85,
+    formats: Sequence[str] = ("tucker",),
 ) -> RankPlan:
     """Run Algorithm 1 over an ordered list of decomposable layers.
 
@@ -132,6 +139,13 @@ def select_ranks(
     short of B, which the paper's "⪅ B" accepts).  Layers whose C or N
     extent is 1 have no rank strictly below the original extent and
     are left dense (``reason="not_decomposable"``).
+
+    ``formats`` widens the search from Tucker-only (the paper's
+    Algorithm 1, the default) to any set of registered decomposition
+    formats — pass ``("tucker", "cp", "tt")``, ``"all"``, or ``"auto"``
+    and each layer picks the (format, ranks) pair that wins on latency
+    under its FLOPs share.  The default Tucker-only path is numerically
+    identical to the legacy selector.
     """
     if not layers:
         raise ValueError("select_ranks needs at least one layer")
@@ -146,6 +160,16 @@ def select_ranks(
     # Documented budget-floor clamp: the per-layer cap can never be
     # tighter than the global budget itself.
     max_layer_reduction = max(max_layer_reduction, budget)
+
+    from repro.tensor.formats import resolve_formats
+
+    formats = resolve_formats(formats)
+    if formats != ("tucker",):
+        return _select_ranks_multiformat(
+            layers, device, budget=budget, theta=theta,
+            rank_step=rank_step, method=method,
+            max_layer_reduction=max_layer_reduction, formats=formats,
+        )
 
     flops_list = [
         2 * l.h * l.w * l.c * l.n * l.r * l.s for l in layers
@@ -218,11 +242,114 @@ def select_ranks(
                     tucker_latency=t1, original_latency=t2,
                     dense_flops=dense, compressed_flops=entry.flops,
                     reason=reason,
+                    format="tucker", ranks=(entry.d1, entry.d2),
                 )
             )
             achieved = dense - entry.flops
             # Reduce the carried pool by whatever this layer delivered
             # beyond its own base share.
+            surplus = achieved - budget * dense
+            extra_budget = max(0.0, extra_budget - max(0.0, surplus))
+
+    return RankPlan(
+        decisions=decisions, budget=budget, theta=theta,
+        device_name=device.name,
+    )
+
+
+def _select_ranks_multiformat(
+    layers: Sequence[LayerShape],
+    device: DeviceSpec,
+    budget: float,
+    theta: float,
+    rank_step: int,
+    method: str,
+    max_layer_reduction: float,
+    formats: Tuple[str, ...],
+) -> RankPlan:
+    """Algorithm 1 with the format axis widened beyond Tucker.
+
+    Same budget / θ / carried-reduction structure as the legacy body;
+    the per-layer argmin runs over every format's rank candidates, and
+    latency plateaus resolve toward the most retained parameters (the
+    cross-format analog of "largest ranks").
+    """
+    # Deferred import: format_search imports LayerShape from here.
+    from repro.codesign.format_search import (
+        best_format_under_budget,
+        layer_format_candidates,
+    )
+
+    flops_list = [
+        2 * l.h * l.w * l.c * l.n * l.r * l.s for l in layers
+    ]
+    decisions: List[RankDecision] = []
+    extra_budget = 0.0
+
+    for i, layer in enumerate(layers):
+        dense = flops_list[i]
+        remaining = sum(flops_list[i:])
+        carried = extra_budget * dense / remaining if remaining else 0.0
+        target_reduction = min(
+            budget * dense + carried, max_layer_reduction * dense
+        )
+        max_compressed = dense - target_reduction
+
+        original, candidates = layer_format_candidates(
+            layer, device, formats, rank_step=rank_step, method=method
+        )
+        if not candidates:
+            t2 = original
+            decisions.append(
+                RankDecision(
+                    layer=layer, d1=None, d2=None,
+                    tucker_latency=t2, original_latency=t2,
+                    dense_flops=dense, compressed_flops=dense,
+                    reason="not_decomposable",
+                )
+            )
+            extra_budget += target_reduction
+            continue
+
+        chosen = best_format_under_budget(candidates, max_compressed)
+        if chosen is None:
+            chosen = best_format_under_budget(
+                candidates, dense * (1.0 - budget)
+            )
+            reason = "selected" if chosen is not None else "no_candidate"
+            if chosen is None:
+                chosen = min(
+                    candidates, key=lambda c: (c.flops, c.total_latency)
+                )
+        else:
+            reason = "selected"
+
+        t1 = chosen.total_latency
+        t2 = original
+        if t1 >= (1.0 - theta) * t2:
+            decisions.append(
+                RankDecision(
+                    layer=layer, d1=None, d2=None,
+                    tucker_latency=t2, original_latency=t2,
+                    dense_flops=dense, compressed_flops=dense,
+                    reason="theta_skip",
+                )
+            )
+            extra_budget += target_reduction
+        else:
+            d1 = d2 = None
+            if chosen.format == "tucker":
+                d1, d2 = chosen.ranks
+            decisions.append(
+                RankDecision(
+                    layer=layer, d1=d1, d2=d2,
+                    tucker_latency=t1, original_latency=t2,
+                    dense_flops=dense, compressed_flops=chosen.flops,
+                    reason=reason,
+                    format=chosen.format, ranks=chosen.ranks,
+                )
+            )
+            achieved = dense - chosen.flops
             surplus = achieved - budget * dense
             extra_budget = max(0.0, extra_budget - max(0.0, surplus))
 

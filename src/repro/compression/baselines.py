@@ -23,7 +23,9 @@ from repro.compression.training import TrainHistory, evaluate, train_model
 from repro.data.synthetic import Dataset
 from repro.models.introspection import find_module, replace_module
 from repro.nn.conv import Conv2d
+from repro.nn.cp_conv import CPConv2d
 from repro.nn.module import Module
+from repro.nn.tt_conv import TTConv2d
 from repro.nn.tucker_conv import TuckerConv2d
 from repro.utils.rng import SeedLike, spawn_rngs
 
@@ -45,6 +47,45 @@ def decompose_model(
         d2, d1 = (int(r) for r in ranks)
         tucker = TuckerConv2d.from_conv(mod, rank_out=d2, rank_in=d1, n_iter=n_iter)
         replace_module(model, name, tucker)
+    return model
+
+
+def decompose_model_formats(
+    model: Module,
+    format_map: Dict[str, Tuple[str, Sequence[int]]],
+    n_iter: int = 10,
+) -> Module:
+    """Replace named dense convs by mixed-format factorizations.
+
+    ``format_map`` maps dotted conv names to ``(format, ranks)`` pairs
+    using each format's natural rank order: ``("tucker", (d1, d2))``,
+    ``("cp", (q,))``, or ``("tt", (r1, r2))``.  The model is modified
+    in place and returned.
+    """
+    for name, (fmt, ranks) in format_map.items():
+        mod = find_module(model, name)
+        if not isinstance(mod, Conv2d):
+            raise TypeError(f"{name!r} is not a Conv2d")
+        ranks = tuple(int(r) for r in ranks)
+        if fmt == "tucker":
+            d1, d2 = ranks
+            replacement: Module = TuckerConv2d.from_conv(
+                mod, rank_out=d2, rank_in=d1, n_iter=n_iter
+            )
+        elif fmt == "cp":
+            (q,) = ranks
+            # CP-ALS needs more sweeps than HOOI to converge; scale the
+            # caller's iteration budget accordingly.
+            replacement = CPConv2d.from_conv(mod, rank=q, n_iter=max(6 * n_iter, 30))
+        elif fmt == "tt":
+            r1, r2 = ranks
+            replacement = TTConv2d.from_conv(mod, rank1=r1, rank2=r2)
+        else:
+            raise ValueError(
+                f"cannot decompose {name!r}: unknown format {fmt!r} "
+                f"(expected 'tucker', 'cp', or 'tt')"
+            )
+        replace_module(model, name, replacement)
     return model
 
 

@@ -53,8 +53,14 @@ def run_models(
     models: Optional[List[str]] = None,
     budgets: Optional[Dict[str, float]] = None,
     backends: Optional[Sequence[str]] = None,
+    formats: object = ("tucker",),
 ) -> Dict[str, E2EResult]:
-    """End-to-end estimates for the requested models on one device."""
+    """End-to-end estimates for the requested models on one device.
+
+    ``formats`` widens rank selection beyond Tucker (``"all"`` or an
+    explicit list); sites then individually pick the fastest format
+    under their budget share.
+    """
     models = list(models) if models is not None else list(E2E_MODELS)
     budgets = budgets or MODEL_BUDGETS
     results: Dict[str, E2EResult] = {}
@@ -62,6 +68,7 @@ def run_models(
         spec = get_model_spec(name)
         results[name] = estimate_e2e(
             spec, device, budget=budgets.get(name, 0.6), backends=backends,
+            formats=formats,
         )
     return results
 
@@ -130,10 +137,44 @@ def run(
     device: DeviceSpec,
     models: Optional[List[str]] = None,
     backends: Optional[Sequence[str]] = None,
+    formats: object = ("tucker",),
 ) -> Table:
     """Regenerate Fig. 8 (A100) / Fig. 9 (2080Ti) as a table."""
-    return results_table(run_models(device, models=models, backends=backends),
-                         device)
+    return results_table(
+        run_models(device, models=models, backends=backends, formats=formats),
+        device,
+    )
+
+
+def format_summary(
+    results: Dict[str, E2EResult], device: DeviceSpec
+) -> Optional[Table]:
+    """Per-model summary of which decomposition format won each site.
+
+    Returns ``None`` when every plan is single-format Tucker (the
+    default ``formats`` setting, where the column adds no signal).
+    """
+    rows = []
+    saw_non_tucker = False
+    for name, res in results.items():
+        counts: Dict[str, int] = {}
+        for d in res.rank_plan.decisions:
+            if d.decomposed:
+                counts[d.format] = counts.get(d.format, 0) + 1
+        saw_non_tucker = saw_non_tucker or any(
+            f != "tucker" for f in counts
+        )
+        picks = ", ".join(f"{f} x{n}" for f, n in sorted(counts.items()))
+        rows.append([name, sum(counts.values()), picks or "-"])
+    if not saw_non_tucker:
+        return None
+    table = Table(
+        ["model", "decomposed convs", "format wins per site"],
+        title=f"Decomposition format decisions ({device.name})",
+    )
+    for row in rows:
+        table.add_row(row)
+    return table
 
 
 # Trainable presets small enough to *execute* on CPU; the measured

@@ -18,6 +18,8 @@ from repro.inference.engine import (
 from repro.inference.executable import (
     BufferArena,
     CompiledConv2d,
+    CompiledCPConv2d,
+    CompiledTTConv2d,
     CompiledTuckerConv2d,
     Executable,
     compile_model,
@@ -40,6 +42,8 @@ __all__ = [
     "BufferArena",
     "CORE_BACKENDS",
     "CompiledConv2d",
+    "CompiledCPConv2d",
+    "CompiledTTConv2d",
     "CompiledTuckerConv2d",
     "E2EResult",
     "Executable",

@@ -151,12 +151,18 @@ def estimate_e2e(
     rank_step: int = 32,
     rank_plan: Optional[RankPlan] = None,
     backends: Optional[Sequence[str]] = None,
+    formats: object = ("tucker",),
 ) -> E2EResult:
     """Estimate the end-to-end variants for a model spec.
 
     ``backends`` selects the compressed variants (default: the paper's
     four); names are validated against the registry *before* any
-    planning work starts.
+    planning work starts.  ``formats`` widens rank selection beyond
+    Tucker (``"all"``/``"auto"`` or an explicit name list): each site
+    then picks the fastest format under its budget share, and the
+    compressed variants carry mixed Tucker/CP/TT kernel chains (the
+    core backend only affects the Tucker cores — CP/TT middles always
+    run the depthwise kernel).
     """
     backends = resolve_backend_list(backends)
     if rank_plan is None:
@@ -165,6 +171,7 @@ def estimate_e2e(
             raise ValueError(f"{spec.name} has no decomposable convs")
         rank_plan = select_ranks(
             layers, device, budget=budget, theta=theta, rank_step=rank_step,
+            formats=formats,
         )
 
     dense_plan = plan_dense_model(spec, device)
@@ -195,6 +202,7 @@ def estimate_e2e_many(
     rank_step: int = 32,
     workers: Optional[int] = None,
     backends: Optional[Sequence[str]] = None,
+    formats: object = ("tucker",),
 ) -> List[E2EResult]:
     """Batched end-to-end estimation over ``specs x devices x budgets``.
 
@@ -214,7 +222,7 @@ def estimate_e2e_many(
     budgets = list(budgets)
     plans = plan_many(
         specs, devices, budgets,
-        theta=theta, rank_step=rank_step, workers=workers,
+        theta=theta, rank_step=rank_step, workers=workers, formats=formats,
     )
     # Fingerprint -> device, built once: the plans dict keys devices by
     # content fingerprint, and an O(plans x devices) linear rescan per
@@ -224,7 +232,9 @@ def estimate_e2e_many(
     for (_, fp, _), plan in plans.items():
         device = device_by_fp[fp]
         for decision in plan.decisions:
-            if decision.decomposed:
+            # Only Tucker cores go through the backend registry; CP/TT
+            # middles bind the depthwise kernel directly (no warm-up).
+            if decision.decomposed and decision.format == "tucker":
                 layer = decision.layer
                 core_pairs.append((
                     ConvShape(
@@ -244,7 +254,7 @@ def estimate_e2e_many(
                         spec, device, budget=budget, theta=theta,
                         rank_step=rank_step,
                         rank_plan=plans[plan_key(spec, device, budget)],
-                        backends=backends,
+                        backends=backends, formats=formats,
                     )
                 )
     return results

@@ -41,6 +41,7 @@ from repro.backends import get_backend
 from repro.gpusim.device import DeviceSpec
 from repro.inference.plan import ExecutionPlan, PlannedKernel, plan_model
 from repro.kernels.base import ConvKernel, ConvShape, execution_dtype
+from repro.kernels.depthwise import DepthwiseConvKernel
 from repro.models.introspection import (
     LayerSite,
     find_module,
@@ -48,12 +49,14 @@ from repro.models.introspection import (
     trace_layer_sites,
 )
 from repro.nn.conv import Conv2d
+from repro.nn.cp_conv import CPConv2d
 from repro.nn.functional import conv_out_size
 from repro.nn.module import Module
+from repro.nn.tt_conv import TTConv2d
 from repro.nn.tucker_conv import TuckerConv2d
 
 #: Plan kernel kinds that bind to a model conv site.
-_CONV_KINDS = ("conv", "pointwise", "core")
+_CONV_KINDS = ("conv", "pointwise", "core", "dwcore")
 
 
 class BufferArena:
@@ -296,6 +299,154 @@ class CompiledTuckerConv2d(_CompiledSite):
         return out
 
 
+class CompiledCPConv2d(_CompiledSite):
+    """A CP-format site: 1x1 projection -> depthwise RxS conv -> 1x1
+    projection, all through arena buffers."""
+
+    def __init__(
+        self,
+        site: LayerSite,
+        kernel: ConvKernel,
+        arena: BufferArena,
+        max_batch: int,
+    ) -> None:
+        super().__init__(site.name, max_batch)
+        mod = site.module
+        assert isinstance(mod, CPConv2d)
+        dtype = arena.dtype
+        weights = mod.export_weights(dtype=dtype)
+        self.w_in = weights["w_in"]        # (Q, C)
+        self.dw = weights["dw"]            # (Q, R, S)
+        self.w_out = weights["w_out"]      # (N, Q)
+        self.bias = weights["bias"]        # (N,) or None
+        self.backend = "depthwise"
+        self.kernel = kernel
+        self.stride = mod.stride
+        self.padding = mod.padding
+        h, w = site.height, site.width
+        k, p = mod.kernel_size, mod.padding
+        q = mod.rank
+        self._rows, oh = _strided_rows(h, k, self.stride, p)
+        self._cols, ow = _strided_rows(w, k, self.stride, p)
+        self._interior = (slice(p, p + h), slice(p, p + w))
+        hp, wp = h + 2 * p, w + 2 * p
+        self.z1pad = arena.allocate(
+            f"{site.name}.z1pad", (max_batch, q, hp, wp)
+        )
+        self.ysame = arena.allocate(
+            f"{site.name}.ysame", (max_batch, q, hp, wp)
+        )
+        self.z2 = arena.allocate(f"{site.name}.z2", (max_batch, q, oh, ow))
+        self.out = arena.allocate(
+            f"{site.name}.out", (max_batch, mod.out_channels, oh, ow)
+        )
+        exec_shape = ConvShape(c=q, n=q, h=hp, w=wp, r=k, s=k)
+        scratch = kernel.allocate_scratch(exec_shape, dtype=dtype)
+        for sname, buf in scratch.items():
+            arena.adopt(f"{site.name}.scratch.{sname}", buf)
+        self.scratch = scratch
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        b = self._check_batch(x)
+        ri, ci = self._interior
+        z1 = self.z1pad[:b, :, ri, ci]
+        # Stage 1: input projection, written straight into the padded
+        # depthwise input (the border stays zero).
+        np.einsum("qc,bchw->bqhw", self.w_in, x, out=z1, optimize=True)
+        # Stage 2: per-channel RxS conv at the padded extent, per sample.
+        ysame = self.ysame[:b]
+        for i in range(b):
+            self.kernel.run_into(
+                self.z1pad[i], self.dw, ysame[i], self.scratch
+            )
+        z2 = self.z2[:b]
+        z2[...] = ysame[:, :, self._rows, self._cols]
+        # Stage 3: output projection plus bias.
+        out = self.out[:b]
+        np.einsum("nq,bqhw->bnhw", self.w_out, z2, out=out, optimize=True)
+        if self.bias is not None:
+            out += self.bias[None, :, None, None]
+        return out
+
+
+class CompiledTTConv2d(_CompiledSite):
+    """A TT-format site: 1x1 projection to r1*r2 channels -> depthwise
+    RxS conv -> group-sum collapse to r1 -> 1x1 projection."""
+
+    def __init__(
+        self,
+        site: LayerSite,
+        kernel: ConvKernel,
+        arena: BufferArena,
+        max_batch: int,
+    ) -> None:
+        super().__init__(site.name, max_batch)
+        mod = site.module
+        assert isinstance(mod, TTConv2d)
+        dtype = arena.dtype
+        weights = mod.export_weights(dtype=dtype)
+        self.w_in = weights["w_in"]        # (r1*r2, C)
+        self.dw = weights["dw"]            # (r1*r2, R, S)
+        self.w_out = weights["w_out"]      # (N, r1)
+        self.bias = weights["bias"]        # (N,) or None
+        self.backend = "depthwise"
+        self.kernel = kernel
+        self.stride = mod.stride
+        self.padding = mod.padding
+        self.rank1 = mod.rank1
+        self.rank2 = mod.rank2
+        h, w = site.height, site.width
+        k, p = mod.kernel_size, mod.padding
+        mid = mod.rank1 * mod.rank2
+        self._rows, oh = _strided_rows(h, k, self.stride, p)
+        self._cols, ow = _strided_rows(w, k, self.stride, p)
+        self._interior = (slice(p, p + h), slice(p, p + w))
+        hp, wp = h + 2 * p, w + 2 * p
+        self.z1pad = arena.allocate(
+            f"{site.name}.z1pad", (max_batch, mid, hp, wp)
+        )
+        self.ysame = arena.allocate(
+            f"{site.name}.ysame", (max_batch, mid, hp, wp)
+        )
+        self.z2 = arena.allocate(f"{site.name}.z2", (max_batch, mid, oh, ow))
+        self.z3 = arena.allocate(
+            f"{site.name}.z3", (max_batch, mod.rank1, oh, ow)
+        )
+        self.out = arena.allocate(
+            f"{site.name}.out", (max_batch, mod.out_channels, oh, ow)
+        )
+        exec_shape = ConvShape(c=mid, n=mid, h=hp, w=wp, r=k, s=k)
+        scratch = kernel.allocate_scratch(exec_shape, dtype=dtype)
+        for sname, buf in scratch.items():
+            arena.adopt(f"{site.name}.scratch.{sname}", buf)
+        self.scratch = scratch
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        b = self._check_batch(x)
+        ri, ci = self._interior
+        z1 = self.z1pad[:b, :, ri, ci]
+        np.einsum("qc,bchw->bqhw", self.w_in, x, out=z1, optimize=True)
+        ysame = self.ysame[:b]
+        for i in range(b):
+            self.kernel.run_into(
+                self.z1pad[i], self.dw, ysame[i], self.scratch
+            )
+        z2 = self.z2[:b]
+        z2[...] = ysame[:, :, self._rows, self._cols]
+        # Group-sum: collapse the r2 dimension (the memory-bound kernel
+        # the plan folds into the dwcore latency).
+        z3 = self.z3[:b]
+        oh, ow = z3.shape[2], z3.shape[3]
+        np.sum(
+            z2.reshape(b, self.rank1, self.rank2, oh, ow), axis=2, out=z3
+        )
+        out = self.out[:b]
+        np.einsum("nq,bqhw->bnhw", self.w_out, z3, out=out, optimize=True)
+        if self.bias is not None:
+            out += self.bias[None, :, None, None]
+        return out
+
+
 class Executable:
     """A runnable, self-contained compilation of (plan, model, device).
 
@@ -415,7 +566,7 @@ def _index_plan(
     for k in plan.kernels:
         if k.kind not in _CONV_KINDS:
             continue  # aux kinds execute through the model's own modules
-        if k.kind == "core":
+        if k.kind in ("core", "dwcore"):
             site = k.layer[: -len(".core")]
             if site in names:
                 cores[site] = k
@@ -501,9 +652,9 @@ def compile_plan(
 
     missing = []
     for site in sites:
-        if site.is_tucker and site.name not in cores:
+        if site.is_factored and site.name not in cores:
             missing.append(f"{site.name}.core")
-        elif not site.is_tucker and site.name not in dense:
+        elif not site.is_factored and site.name not in dense:
             missing.append(site.name)
     if missing:
         raise ValueError(
@@ -526,7 +677,7 @@ def compile_plan(
         mod = copied.module
         k, p = mod.kernel_size, mod.padding
         hp, wp = site.height + 2 * p, site.width + 2 * p
-        if site.is_tucker:
+        if site.format == "tucker":
             planned = cores[site.name]
             backend = get_backend(planned.backend)
             exec_shape = ConvShape(
@@ -535,6 +686,16 @@ def compile_plan(
             kernel = backend.kernel(exec_shape, device, tiling=planned.tiling)
             compiled = CompiledTuckerConv2d(
                 copied, kernel, planned.backend, arena, max_batch
+            )
+        elif site.format == "cp":
+            # CP/TT middles bypass the dense-core registry: their 3-D
+            # depthwise weight only the depthwise kernel understands.
+            compiled = CompiledCPConv2d(
+                copied, DepthwiseConvKernel(), arena, max_batch
+            )
+        elif site.format == "tt":
+            compiled = CompiledTTConv2d(
+                copied, DepthwiseConvKernel(), arena, max_batch
             )
         else:
             planned = dense[site.name]

@@ -23,10 +23,12 @@ from typing import Dict, List, Optional, Tuple
 from repro.backends import dispatch_core, get_backend, validate_backend
 from repro.codesign.rank_selection import RankPlan
 from repro.gpusim.device import DeviceSpec
-from repro.kernels.base import ConvShape
+from repro.kernels.base import FLOAT_BYTES, ConvShape
+from repro.kernels.depthwise import depthwise_latency
 from repro.kernels.pointwise import (
     batchnorm_relu_latency,
     fc_latency,
+    memory_bound_op_latency,
     pointwise_latency,
     pooling_latency,
 )
@@ -45,7 +47,10 @@ class PlannedKernel:
     """
 
     layer: str
-    kind: str          # "conv" | "pointwise" | "core" | "pool" | "fc" | "bn_relu"
+    # "conv" | "pointwise" | "core" | "dwcore" | "pool" | "fc" | "bn_relu"
+    # ("dwcore" is the depthwise middle stage of a CP/TT chain; for TT
+    # its latency also folds in the group-sum collapse)
+    kind: str
     latency: float     # seconds, includes launch overhead
     backend: Optional[str] = None
     tiling: Optional[str] = None
@@ -96,6 +101,22 @@ def _aux_scale(device: DeviceSpec, kind: str) -> float:
     if correction is None:
         return 1.0
     return float(correction(kind))
+
+
+def _dwcore_latency(
+    channels: int, oh: int, ow: int, kernel: int, device: DeviceSpec,
+    collapse_to: Optional[int] = None,
+) -> float:
+    """Latency of a CP/TT middle stage: depthwise conv, plus (for TT)
+    the memory-bound group-sum collapsing ``channels -> collapse_to``.
+    Carries the calibrated aux correction for kind ``"dwcore"``."""
+    lat = depthwise_latency(channels, oh, ow, kernel, device)
+    if collapse_to is not None and collapse_to < channels:
+        map_bytes = oh * ow * FLOAT_BYTES
+        lat += memory_bound_op_latency(
+            channels * map_bytes, collapse_to * map_bytes, device
+        )
+    return lat * _aux_scale(device, "dwcore")
 
 
 def _dense_conv_latency(layer: LayerSpec, device: DeviceSpec) -> float:
@@ -175,18 +196,27 @@ def plan_model(
     core_backend: str = "auto",
     model_name: Optional[str] = None,
     sites: Optional[List["LayerSite"]] = None,
+    formats: object = "auto",
 ) -> ExecutionPlan:
     """Execution plan for a *trainable* model, kernels named after its
     modules.
 
     This is the cold half of the compile/execute split: every dense
     :class:`~repro.nn.conv.Conv2d` plans as one baseline (cuDNN) conv
-    kernel, every :class:`~repro.nn.tucker_conv.TuckerConv2d` expands
-    into ``<name>.pw1`` / ``<name>.core`` / ``<name>.pw2`` with the
-    core dispatched through the backend registry — exactly the shapes
+    kernel, and every factored conv expands into ``<name>.pw1`` /
+    ``<name>.core`` / ``<name>.pw2`` — exactly the shapes
     :func:`repro.inference.compile_plan` later binds to numeric
-    kernels.  Kernel layer names are the model's dotted module names,
-    so the plan round-trips to the module tree.
+    kernels.  A :class:`~repro.nn.tucker_conv.TuckerConv2d` core is
+    dispatched through the backend registry; CP/TT cores are the
+    depthwise stage (kind ``"dwcore"``, always the depthwise kernel,
+    with TT's group-sum folded into its latency).  Kernel layer names
+    are the model's dotted module names, so the plan round-trips to
+    the module tree.
+
+    ``formats`` restricts which factored formats the model may
+    contain: ``"auto"``/``"all"`` (default) accepts every registered
+    format; an explicit name or list raises if the model carries a
+    factored site outside it.
 
     ``sites`` takes a pre-traced inventory (from
     :func:`repro.models.introspection.trace_layer_sites` with the same
@@ -194,9 +224,13 @@ def plan_model(
     can share one traced forward pass.
     """
     from repro.models.introspection import trace_layer_sites
+    from repro.nn.cp_conv import CPConv2d
+    from repro.nn.tt_conv import TTConv2d
     from repro.nn.tucker_conv import TuckerConv2d
+    from repro.tensor.formats import resolve_formats
 
     validate_backend(core_backend)
+    allowed_formats = resolve_formats(formats)
     if sites is None:
         sites = trace_layer_sites(model, image_hw, in_channels=in_channels)
     if not sites:
@@ -205,6 +239,13 @@ def plan_model(
             f"layers reachable from a ({in_channels}, {image_hw[0]}, "
             f"{image_hw[1]}) input; nothing to plan"
         )
+    for site in sites:
+        if site.is_factored and site.format not in allowed_formats:
+            raise ValueError(
+                f"layer {site.name!r} is in format {site.format!r} but "
+                f"plan_model was restricted to formats "
+                f"{list(allowed_formats)}"
+            )
     plan = ExecutionPlan(
         model_name=model_name or type(model).__name__,
         device_name=device.name,
@@ -213,7 +254,42 @@ def plan_model(
     for site in sites:
         mod = site.module
         oh, ow = mod.output_shape(site.height, site.width)
-        if isinstance(mod, TuckerConv2d):
+        if isinstance(mod, (CPConv2d, TTConv2d)):
+            if isinstance(mod, CPConv2d):
+                mid = mod.rank
+                out_rank = mod.rank
+                collapse = None
+            else:
+                mid = mod.rank1 * mod.rank2
+                out_rank = mod.rank1
+                collapse = mod.rank1
+            plan.kernels.append(
+                PlannedKernel(
+                    layer=f"{site.name}.pw1", kind="pointwise",
+                    latency=pointwise_latency(
+                        mod.in_channels, mid, site.height, site.width, device,
+                    ) * _aux_scale(device, "pointwise"),
+                )
+            )
+            plan.kernels.append(
+                PlannedKernel(
+                    layer=f"{site.name}.core", kind="dwcore",
+                    latency=_dwcore_latency(
+                        mid, oh, ow, mod.kernel_size, device,
+                        collapse_to=collapse,
+                    ),
+                    backend="depthwise",
+                )
+            )
+            plan.kernels.append(
+                PlannedKernel(
+                    layer=f"{site.name}.pw2", kind="pointwise",
+                    latency=pointwise_latency(
+                        out_rank, mod.out_channels, oh, ow, device,
+                    ) * _aux_scale(device, "pointwise"),
+                )
+            )
+        elif isinstance(mod, TuckerConv2d):
             plan.kernels.append(
                 PlannedKernel(
                     layer=f"{site.name}.pw1", kind="pointwise",
@@ -277,25 +353,31 @@ def plan_tucker_model(
     core_backend: str = "tdc-model",
     include_bn_relu: bool = True,
 ) -> ExecutionPlan:
-    """The TKD-compressed network under a rank plan.
+    """The compressed network under a rank plan (any formats mix).
 
-    Layers the plan decomposed run as three kernels; skipped layers and
-    non-decomposable layers run dense.  The 1x1 stages always go
-    through cuDNN (the paper's fair-comparison setup).  The core conv
-    goes through the registry: any registered backend name, or
-    ``"auto"`` to pick the fastest registered backend per layer (the
-    winner is recorded on each core :class:`PlannedKernel`).
+    Layers the plan decomposed run as their format's kernel chain;
+    skipped layers and non-decomposable layers run dense.  The 1x1
+    stages always go through cuDNN (the paper's fair-comparison
+    setup).  A Tucker core goes through the registry: any registered
+    backend name, or ``"auto"`` to pick the fastest registered backend
+    per layer (the winner is recorded on each core
+    :class:`PlannedKernel`).  CP/TT middle stages always plan as the
+    depthwise kernel (kind ``"dwcore"``).
     """
     # Fail fast: an unknown backend raises here, with the registry's
     # known names, not mid-plan at the first decomposed conv.
     validate_backend(core_backend)
+    plan_formats = sorted(
+        {d.format for d in rank_plan.decisions if d.decomposed}
+    ) or ["tucker"]
     if not spec.decomposable_convs(min_channels=1):
         # Silently emitting a compressed "variant" with zero core convs
         # (identical to the dense plan) hides a configuration mistake.
         raise ValueError(
             f"{spec.name} has no decomposable conv layers (spatial KxK "
-            f"convs with K > 1); a Tucker plan would contain no core "
-            f"kernels — use plan_dense_model for this model"
+            f"convs with K > 1); a {'/'.join(plan_formats)} plan would "
+            f"contain no core kernels — use plan_dense_model for this "
+            f"model"
         )
     decisions = {d.layer.name: d for d in rank_plan.decisions}
     plan = ExecutionPlan(
@@ -306,34 +388,61 @@ def plan_tucker_model(
         if layer.kind == "conv":
             decision = decisions.get(layer.name)
             if decision is not None and decision.decomposed:
-                d1, d2 = int(decision.d1), int(decision.d2)
+                if decision.format == "tucker":
+                    d1, d2 = int(decision.d1), int(decision.d2)
+                    mid, out_rank, collapse = d1, d2, None
+                elif decision.format == "cp":
+                    (q,) = decision.ranks
+                    mid, out_rank, collapse = int(q), int(q), None
+                elif decision.format == "tt":
+                    r1, r2 = (int(x) for x in decision.ranks)
+                    mid, out_rank, collapse = r1 * r2, r1, r1
+                else:
+                    raise ValueError(
+                        f"cannot plan layer {layer.name!r}: decision "
+                        f"carries unknown format {decision.format!r} "
+                        f"(plan formats: {plan_formats})"
+                    )
                 plan.kernels.append(
                     PlannedKernel(
                         layer=f"{layer.name}.pw1", kind="pointwise",
                         latency=pointwise_latency(
-                            layer.in_channels, d1, layer.height, layer.width,
+                            layer.in_channels, mid, layer.height, layer.width,
                             device,
                         ) * _aux_scale(device, "pointwise"),
                     )
                 )
-                core_shape = ConvShape(
-                    c=d1, n=d2, h=layer.out_height, w=layer.out_width,
-                    r=layer.kernel, s=layer.kernel,
-                )
-                dispatch = dispatch_core(core_shape, device, core_backend)
-                plan.kernels.append(
-                    PlannedKernel(
-                        layer=f"{layer.name}.core", kind="core",
-                        latency=dispatch.latency,
-                        backend=dispatch.backend,
-                        tiling=dispatch.tiling,
+                if decision.format == "tucker":
+                    core_shape = ConvShape(
+                        c=mid, n=out_rank,
+                        h=layer.out_height, w=layer.out_width,
+                        r=layer.kernel, s=layer.kernel,
                     )
-                )
+                    dispatch = dispatch_core(core_shape, device, core_backend)
+                    plan.kernels.append(
+                        PlannedKernel(
+                            layer=f"{layer.name}.core", kind="core",
+                            latency=dispatch.latency,
+                            backend=dispatch.backend,
+                            tiling=dispatch.tiling,
+                        )
+                    )
+                else:
+                    plan.kernels.append(
+                        PlannedKernel(
+                            layer=f"{layer.name}.core", kind="dwcore",
+                            latency=_dwcore_latency(
+                                mid, layer.out_height, layer.out_width,
+                                layer.kernel, device, collapse_to=collapse,
+                            ),
+                            backend="depthwise",
+                        )
+                    )
                 plan.kernels.append(
                     PlannedKernel(
                         layer=f"{layer.name}.pw2", kind="pointwise",
                         latency=pointwise_latency(
-                            d2, layer.out_channels,
+                            out_rank, layer.out_channels,
                             layer.out_height, layer.out_width, device,
                         ) * _aux_scale(device, "pointwise"),
                     )

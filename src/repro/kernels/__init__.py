@@ -19,6 +19,7 @@ from repro.kernels.cudnn import (
     CuDNNWinogradKernel,
     GemmConfig,
 )
+from repro.kernels.depthwise import DepthwiseConvKernel, depthwise_latency
 from repro.kernels.pointwise import (
     PointwiseConvKernel,
     batchnorm_relu_latency,
@@ -45,6 +46,8 @@ __all__ = [
     "CuDNNGemmKernel",
     "CuDNNWinogradKernel",
     "GemmConfig",
+    "DepthwiseConvKernel",
+    "depthwise_latency",
     "PointwiseConvKernel",
     "batchnorm_relu_latency",
     "fc_latency",

@@ -8,13 +8,16 @@ read the shapes each :class:`Conv2d` saw.
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.nn.conv import Conv2d
+from repro.nn.cp_conv import CPConv2d
 from repro.nn.module import Module
+from repro.nn.tt_conv import TTConv2d
 from repro.nn.tucker_conv import TuckerConv2d
 
 # Tracing temporarily swaps the *class-level* forward methods, which is
@@ -22,6 +25,48 @@ from repro.nn.tucker_conv import TuckerConv2d
 # would capture each other's wrappers and corrupt the restoration chain.
 # All tracing serializes on this lock.
 _TRACE_LOCK = threading.RLock()
+
+# Every conv-like layer class the planner/compiler understands.  The
+# factored classes expand into kernel chains; Conv2d binds a baseline
+# kernel directly.
+FACTORED_CONV_CLASSES = (TuckerConv2d, CPConv2d, TTConv2d)
+CONV_SITE_CLASSES = (Conv2d,) + FACTORED_CONV_CLASSES
+
+
+@contextmanager
+def _traced_shapes(model: Module):
+    """Swap every conv-like class's forward for a shape-recording
+    wrapper for the duration of one dummy forward pass.
+
+    Yields ``(shapes, order)``: input extent by module id, and first-
+    execution order (the planner wants model order even for modules
+    reused twice).
+    """
+    was_training = model.training
+    model.eval()
+    shapes: Dict[int, Tuple[int, int]] = {}
+    order: List[int] = []
+
+    with _TRACE_LOCK:
+        originals = {cls: cls.forward for cls in CONV_SITE_CLASSES}
+
+        def make_wrapper(orig):
+            def tracing_forward(self, x: np.ndarray) -> np.ndarray:
+                if id(self) not in shapes:
+                    order.append(id(self))
+                shapes[id(self)] = (x.shape[2], x.shape[3])
+                return orig(self, x)
+            return tracing_forward
+
+        for cls, orig in originals.items():
+            cls.forward = make_wrapper(orig)  # type: ignore[method-assign]
+        try:
+            yield shapes, order
+        finally:
+            for cls, orig in originals.items():
+                cls.forward = orig  # type: ignore[method-assign]
+            if was_training:
+                model.train()
 
 
 @dataclass
@@ -68,28 +113,9 @@ def trace_conv_sites(
     spatial_only:
         When True, skip 1x1 convs (they have no Tucker core to speed up).
     """
-    was_training = model.training
-    model.eval()
-    shapes: Dict[int, Tuple[int, int]] = {}
-
-    with _TRACE_LOCK:
-        # Temporarily wrap Conv2d.forward to record input spatial dims
-        # (capture the original under the lock: another thread's trace
-        # must be fully unwound first).
-        original_forward = Conv2d.forward
-
-        def tracing_forward(self: Conv2d, x: np.ndarray) -> np.ndarray:
-            shapes[id(self)] = (x.shape[2], x.shape[3])
-            return original_forward(self, x)
-
-        Conv2d.forward = tracing_forward  # type: ignore[method-assign]
-        try:
-            dummy = np.zeros((1, in_channels, image_hw[0], image_hw[1]))
-            model.forward(dummy)
-        finally:
-            Conv2d.forward = original_forward  # type: ignore[method-assign]
-            if was_training:
-                model.train()
+    with _traced_shapes(model) as (shapes, _order):
+        dummy = np.zeros((1, in_channels, image_hw[0], image_hw[1]))
+        model.forward(dummy)
 
     sites: List[ConvSite] = []
     for name, mod in model.named_modules():
@@ -108,13 +134,29 @@ def trace_conv_sites(
 
 @dataclass
 class LayerSite:
-    """Any conv-like layer (dense or Tucker-format) with traced input
+    """Any conv-like layer (dense or factored) with traced input
     extent — the unit the compile/execute split binds kernels to."""
 
     name: str
-    module: Module           # Conv2d or TuckerConv2d
+    module: Module           # Conv2d, TuckerConv2d, CPConv2d, or TTConv2d
     height: int
     width: int
+
+    @property
+    def format(self) -> str:
+        """The layer's decomposition format: ``"dense"``, ``"tucker"``,
+        ``"cp"``, or ``"tt"``."""
+        if isinstance(self.module, TuckerConv2d):
+            return "tucker"
+        if isinstance(self.module, CPConv2d):
+            return "cp"
+        if isinstance(self.module, TTConv2d):
+            return "tt"
+        return "dense"
+
+    @property
+    def is_factored(self) -> bool:
+        return isinstance(self.module, FACTORED_CONV_CLASSES)
 
     @property
     def is_tucker(self) -> bool:
@@ -124,48 +166,21 @@ class LayerSite:
 def trace_layer_sites(
     model: Module, image_hw: Tuple[int, int], in_channels: int = 3,
 ) -> List[LayerSite]:
-    """Inventory every dense *and* Tucker-format conv with its traced
-    input spatial extent, in model order.
+    """Inventory every dense *and* factored conv with its traced input
+    spatial extent, in model order.
 
-    The execution-plan and compile steps need both kinds: dense convs
+    The execution-plan and compile steps need every kind: dense convs
     bind to a baseline kernel, Tucker layers expand into the
-    pw1 -> core -> pw2 pipeline with a registry-dispatched core.
+    pw1 -> core -> pw2 pipeline with a registry-dispatched core, and
+    CP/TT layers expand into pw1 -> depthwise core -> pw2.
     """
-    was_training = model.training
-    model.eval()
-    shapes: Dict[int, Tuple[int, int]] = {}
-    order: List[int] = []
-
-    with _TRACE_LOCK:
-        orig_conv = Conv2d.forward
-        orig_tucker = TuckerConv2d.forward
-
-        def trace_conv(self: Conv2d, x: np.ndarray) -> np.ndarray:
-            if id(self) not in shapes:
-                order.append(id(self))
-            shapes[id(self)] = (x.shape[2], x.shape[3])
-            return orig_conv(self, x)
-
-        def trace_tucker(self: TuckerConv2d, x: np.ndarray) -> np.ndarray:
-            if id(self) not in shapes:
-                order.append(id(self))
-            shapes[id(self)] = (x.shape[2], x.shape[3])
-            return orig_tucker(self, x)
-
-        Conv2d.forward = trace_conv  # type: ignore[method-assign]
-        TuckerConv2d.forward = trace_tucker  # type: ignore[method-assign]
-        try:
-            dummy = np.zeros((1, in_channels, image_hw[0], image_hw[1]))
-            model.forward(dummy)
-        finally:
-            Conv2d.forward = orig_conv  # type: ignore[method-assign]
-            TuckerConv2d.forward = orig_tucker  # type: ignore[method-assign]
-            if was_training:
-                model.train()
+    with _traced_shapes(model) as (shapes, order):
+        dummy = np.zeros((1, in_channels, image_hw[0], image_hw[1]))
+        model.forward(dummy)
 
     by_id: Dict[int, Tuple[str, Module]] = {}
     for name, mod in model.named_modules():
-        if isinstance(mod, (Conv2d, TuckerConv2d)) and id(mod) in shapes:
+        if isinstance(mod, CONV_SITE_CLASSES) and id(mod) in shapes:
             by_id[id(mod)] = (name, mod)
     sites: List[LayerSite] = []
     for mod_id in order:
@@ -206,40 +221,17 @@ def model_conv_flops(model: Module, image_hw: Tuple[int, int],
                      in_channels: int = 3) -> int:
     """Total conv FLOPs of a trainable model at the given input size.
 
-    Counts both dense and Tucker-format convs (using each layer's own
+    Counts dense and every factored conv format (using each layer's own
     ``flops`` accounting), so budgets can be checked after compression.
     """
-    was_training = model.training
-    model.eval()
-    shapes: Dict[int, Tuple[int, int]] = {}
-
-    with _TRACE_LOCK:
-        orig_conv = Conv2d.forward
-        orig_tucker = TuckerConv2d.forward
-
-        def trace_conv(self: Conv2d, x: np.ndarray) -> np.ndarray:
-            shapes[id(self)] = (x.shape[2], x.shape[3])
-            return orig_conv(self, x)
-
-        def trace_tucker(self: TuckerConv2d, x: np.ndarray) -> np.ndarray:
-            shapes[id(self)] = (x.shape[2], x.shape[3])
-            return orig_tucker(self, x)
-
-        Conv2d.forward = trace_conv  # type: ignore[method-assign]
-        TuckerConv2d.forward = trace_tucker  # type: ignore[method-assign]
-        try:
-            model.forward(
-                np.zeros((1, in_channels, image_hw[0], image_hw[1]))
-            )
-        finally:
-            Conv2d.forward = orig_conv  # type: ignore[method-assign]
-            TuckerConv2d.forward = orig_tucker  # type: ignore[method-assign]
-            if was_training:
-                model.train()
+    with _traced_shapes(model) as (shapes, _order):
+        model.forward(
+            np.zeros((1, in_channels, image_hw[0], image_hw[1]))
+        )
 
     total = 0
     for _, mod in model.named_modules():
-        if isinstance(mod, (Conv2d, TuckerConv2d)) and id(mod) in shapes:
+        if isinstance(mod, CONV_SITE_CLASSES) and id(mod) in shapes:
             h, w = shapes[id(mod)]
             total += mod.flops(h, w)
     return total

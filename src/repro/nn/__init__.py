@@ -7,6 +7,7 @@ by the test suite.
 """
 
 from repro.nn.conv import Conv2d
+from repro.nn.cp_conv import CPConv2d
 from repro.nn.layers import (
     AvgPool2d,
     BatchNorm2d,
@@ -27,11 +28,14 @@ from repro.nn.optim import (
     MultiStepLR,
     StepLR,
 )
+from repro.nn.tt_conv import TTConv2d
 from repro.nn.tucker_conv import TuckerConv2d
 from repro.nn.tucker_linear import TuckerLinear
 
 __all__ = [
     "Conv2d",
+    "CPConv2d",
+    "TTConv2d",
     "TuckerConv2d",
     "TuckerLinear",
     "AvgPool2d",

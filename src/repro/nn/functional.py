@@ -187,6 +187,62 @@ def pointwise_conv_backward(
     return grad_x, grad_w
 
 
+def depthwise_conv2d_forward(
+    x: np.ndarray, weight: np.ndarray, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Depthwise (grouped, groups == channels) cross-correlation.
+
+    ``weight`` has shape ``(C, R, S)``: each channel is convolved with
+    its own R×S filter and channels never mix.  This is the middle
+    stage of the CP- and TT-format conv chains.
+    """
+    if weight.ndim != 3:
+        raise ValueError(f"depthwise weight must be 3-D (C,R,S), got {weight.shape}")
+    c, r, s = weight.shape
+    if x.shape[1] != c:
+        raise ValueError(
+            f"input has {x.shape[1]} channels, depthwise weight expects {c}"
+        )
+    xp = pad_nchw(x, padding)
+    oh = conv_out_size(x.shape[2], r, stride, padding)
+    ow = conv_out_size(x.shape[3], s, stride, padding)
+    y = np.zeros((x.shape[0], c, oh, ow), dtype=np.result_type(x, weight))
+    for i in range(r):
+        for j in range(s):
+            patch = xp[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride]
+            y += patch * weight[None, :, i, j, None, None]
+    return y
+
+
+def depthwise_conv2d_backward(
+    grad_y: np.ndarray,
+    x: np.ndarray,
+    weight: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Backward of :func:`depthwise_conv2d_forward` -> (grad_x, grad_w)."""
+    c, r, s = weight.shape
+    b, _, h, w = x.shape
+    oh, ow = grad_y.shape[2], grad_y.shape[3]
+    xp = pad_nchw(x, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+    grad_xp = np.zeros((b, c, hp, wp), dtype=grad_y.dtype)
+    grad_w = np.zeros_like(weight)
+    for i in range(r):
+        for j in range(s):
+            patch = xp[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride]
+            grad_w[:, i, j] = np.einsum(
+                "bchw,bchw->c", grad_y, patch, optimize=True
+            )
+            grad_xp[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += (
+                grad_y * weight[None, :, i, j, None, None]
+            )
+    if padding == 0:
+        return grad_xp, grad_w
+    return grad_xp[:, :, padding : padding + h, padding : padding + w], grad_w
+
+
 def maxpool2d_forward(
     x: np.ndarray, kernel: int, stride: int, padding: int = 0
 ) -> Tuple[np.ndarray, np.ndarray]:

@@ -342,16 +342,20 @@ def plan_many(
     method: str = "model",
     workers: Optional[int] = None,
     min_channels: int = 32,
+    formats: object = ("tucker",),
 ) -> Dict[PlanKey, RankPlan]:
     """Batched Algorithm 1 over the ``specs x devices x budgets`` grid.
 
     All combinations share one table warm-up (tables are independent
     of the budget), optionally parallelized over ``workers``
-    processes.  Returns ``{plan_key(spec, device, budget): RankPlan}``
-    — keys carry content *fingerprints*, never display names, so
-    same-named device variants (a parameter sweep) or same-named spec
-    variants (one architecture at two image sizes) each keep their
-    own plan.
+    processes.  ``formats`` widens rank selection beyond Tucker; the
+    Tucker table warm-up still covers every combination (the CP/TT
+    candidate sweeps are cheap closed-form latencies, cached
+    per-process).  Returns ``{plan_key(spec, device, budget):
+    RankPlan}`` — keys carry content *fingerprints*, never display
+    names, so same-named device variants (a parameter sweep) or
+    same-named spec variants (one architecture at two image sizes)
+    each keep their own plan.
     """
     specs = list(specs)
     devices = list(devices)
@@ -379,6 +383,6 @@ def plan_many(
                 plans[plan_key(spec, device, budget)] = select_ranks(
                     layer_map[spec.fingerprint()], device,
                     budget=budget, theta=theta,
-                    rank_step=rank_step, method=method,
+                    rank_step=rank_step, method=method, formats=formats,
                 )
     return plans

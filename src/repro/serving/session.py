@@ -641,6 +641,7 @@ class SessionRegistry:
         max_batch: int = 8,
         batch_window_s: float = 0.002,
         decompose: bool = True,
+        formats: object = ("tucker",),
         workers: Optional[int] = None,
         name: Optional[str] = None,
         stats_window: int = 4096,
@@ -651,9 +652,11 @@ class SessionRegistry:
         Builds the preset (:func:`repro.models.build_model`), optionally
         runs hardware-aware decomposition against the target device,
         warms the backend caches, plans, compiles, and wraps the
-        executable in a micro-batching session.  Reuses an existing
-        session under the same key.  ``auto_replan`` opts the session
-        into drift-triggered recalibration (see
+        executable in a micro-batching session.  ``formats`` widens the
+        decomposition search beyond Tucker (``"all"`` or an explicit
+        list), deploying a mixed-format plan when CP/TT wins sites.
+        Reuses an existing session under the same key.  ``auto_replan``
+        opts the session into drift-triggered recalibration (see
         :class:`AutoReplanPolicy` and :meth:`recalibrate`).
         """
         from repro.codesign.pipeline import decompose_for_device
@@ -672,7 +675,7 @@ class SessionRegistry:
             if decompose:
                 decompose_for_device(
                     model, device, image_hw, in_channels=in_channels,
-                    budget=budget, rank_step=rank_step,
+                    budget=budget, rank_step=rank_step, formats=formats,
                 )
             model.eval()
             # One traced forward feeds warm-up, planning, and compile.

@@ -12,9 +12,24 @@ on (the authors used ``tensorly``, which is unavailable offline):
   comparator method
 - EVBMF analytic rank estimation (:mod:`repro.tensor.vbmf`) — used by
   the MUSCO-style comparator
+- decomposition formats as first-class objects
+  (:mod:`repro.tensor.formats`) — the Tucker/CP/TT math packaged behind
+  one interface so rank selection and planning can treat the format as
+  a search axis
 """
 
 from repro.tensor.cp import CPTensor, cp_als
+from repro.tensor.formats import (
+    FACTORED_FORMATS,
+    CPFormat,
+    DecompFormat,
+    TTFormat,
+    TuckerFormat,
+    format_names,
+    get_format,
+    register_format,
+    resolve_formats,
+)
 from repro.tensor.tt import TTTensor, tt_svd
 from repro.tensor.tucker import (
     TuckerTensor,
@@ -31,6 +46,15 @@ from repro.tensor.vbmf import evbmf, evbmf_rank
 __all__ = [
     "CPTensor",
     "cp_als",
+    "DecompFormat",
+    "TuckerFormat",
+    "CPFormat",
+    "TTFormat",
+    "FACTORED_FORMATS",
+    "format_names",
+    "get_format",
+    "register_format",
+    "resolve_formats",
     "TTTensor",
     "tt_svd",
     "TuckerTensor",

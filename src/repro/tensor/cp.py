@@ -14,7 +14,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.tensor.unfold import khatri_rao, relative_error, unfold
+from repro.tensor.unfold import as_float, khatri_rao, relative_error, unfold
 from repro.utils.rng import new_rng
 from repro.utils.validation import check_positive_int
 
@@ -31,8 +31,10 @@ class CPTensor:
     factors: List[np.ndarray]
 
     def __post_init__(self) -> None:
-        self.weights = np.asarray(self.weights, dtype=np.float64)
-        self.factors = [np.asarray(f, dtype=np.float64) for f in self.factors]
+        # Preserve float dtypes (float32 weights stay float32); only
+        # non-float inputs are promoted.
+        self.weights = as_float(self.weights)
+        self.factors = [as_float(f) for f in self.factors]
         if self.weights.ndim != 1:
             raise ValueError("weights must be 1-D")
         rank = self.weights.shape[0]
@@ -75,7 +77,8 @@ def cp_als(
     classic mitigation for CP's "degenerate/swamp" instability (which is
     one of the limitations the paper cites for CP-based compression).
     """
-    tensor = np.asarray(tensor, dtype=np.float64)
+    tensor = as_float(tensor)
+    dtype = tensor.dtype
     rank = check_positive_int("rank", rank)
     if tensor.ndim < 2:
         raise ValueError("cp_als needs a tensor of order >= 2")
@@ -83,20 +86,22 @@ def cp_als(
     rng = new_rng(seed)
 
     factors = [
-        rng.standard_normal((dim, rank)) / np.sqrt(max(dim, 1))
+        (rng.standard_normal((dim, rank)) / np.sqrt(max(dim, 1))).astype(
+            dtype, copy=False
+        )
         for dim in tensor.shape
     ]
     unfoldings = [unfold(tensor, m) for m in range(tensor.ndim)]
     norm_t = np.linalg.norm(tensor.ravel())
-    weights = np.ones(rank)
+    weights = np.ones(rank, dtype=dtype)
     prev_err = np.inf
-    eye = np.eye(rank)
+    eye = np.eye(rank, dtype=dtype)
 
     for _ in range(n_iter):
         for mode in range(tensor.ndim):
             others = [factors[m] for m in range(tensor.ndim) if m != mode]
             # Gram of the Khatri-Rao product = Hadamard of the Grams.
-            gram = np.ones((rank, rank))
+            gram = np.ones((rank, rank), dtype=dtype)
             for f in others:
                 gram *= f.T @ f
             kr = khatri_rao(others)

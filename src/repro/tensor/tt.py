@@ -14,7 +14,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.tensor.unfold import relative_error
+from repro.tensor.unfold import as_float, relative_error
 from repro.utils.validation import check_positive_int
 
 
@@ -28,7 +28,9 @@ class TTTensor:
     cores: List[np.ndarray]
 
     def __post_init__(self) -> None:
-        self.cores = [np.asarray(c, dtype=np.float64) for c in self.cores]
+        # Preserve float dtypes (float32 cores stay float32); only
+        # non-float inputs are promoted.
+        self.cores = [as_float(c) for c in self.cores]
         if not self.cores:
             raise ValueError("TTTensor needs at least one core")
         for c in self.cores:
@@ -72,7 +74,7 @@ def tt_svd(
     truncates singular values carrying less than ``rel_eps`` of the
     per-step Frobenius mass (set 0 for pure rank-capped truncation).
     """
-    tensor = np.asarray(tensor, dtype=np.float64)
+    tensor = as_float(tensor)
     d = tensor.ndim
     if d < 2:
         raise ValueError("tt_svd needs order >= 2")

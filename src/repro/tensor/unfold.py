@@ -136,6 +136,21 @@ def khatri_rao(matrices: Sequence[np.ndarray]) -> np.ndarray:
     return out
 
 
+def as_float(tensor: np.ndarray) -> np.ndarray:
+    """Coerce to a floating array while preserving float dtypes.
+
+    Mirrors the kernel execution rule
+    (:func:`repro.kernels.base.execution_dtype`): float inputs keep
+    their precision end to end; integer/bool inputs are promoted to
+    float64.  Decomposition code uses this instead of an unconditional
+    ``dtype=np.float64`` so float32 model weights stay float32.
+    """
+    arr = np.asarray(tensor)
+    if np.issubdtype(arr.dtype, np.floating):
+        return arr
+    return arr.astype(np.float64)
+
+
 def tensor_norm(tensor: np.ndarray) -> float:
     """Frobenius norm of a tensor."""
     return float(np.linalg.norm(np.asarray(tensor).ravel()))
