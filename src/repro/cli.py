@@ -116,6 +116,61 @@ def build_parser() -> argparse.ArgumentParser:
                          help="micro-batching window (default %(default)s)")
     serve_p.add_argument("--budget", type=float, default=0.5)
 
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="replicated fault-tolerant serving (admission, routing, "
+             "circuit breakers) with optional chaos injection",
+    )
+    fleet_p.add_argument("--model", default="resnet_tiny",
+                         help="trainable model preset (default %(default)s)")
+    fleet_p.add_argument("--devices", default="A100",
+                         help="comma-separated device list; each device "
+                              "gets --replicas replicas (default "
+                              "%(default)s)")
+    fleet_p.add_argument("--replicas", type=int, default=2,
+                         help="replicas per device (default %(default)s)")
+    fleet_p.add_argument("--router", default="least-loaded",
+                         choices=("least-loaded", "round-robin"))
+    fleet_p.add_argument("--backend", default="auto",
+                         choices=known_backend_names(), metavar="BACKEND")
+    fleet_p.add_argument("--image-size", type=int, default=8)
+    fleet_p.add_argument("--requests", type=int, default=96,
+                         help="synthetic requests (default %(default)s)")
+    fleet_p.add_argument("--clients", type=int, default=4,
+                         help="concurrent client threads (default "
+                              "%(default)s)")
+    fleet_p.add_argument("--max-batch", type=int, default=8)
+    fleet_p.add_argument("--budget", type=float, default=0.5)
+    fleet_p.add_argument("--fallback-budget", type=float, default=0.3,
+                         help="FLOPs budget of the cheaper degradation "
+                              "plan; 0 disables the fallback")
+    fleet_p.add_argument("--priorities", default="high,normal,low",
+                         help="comma-separated priority mix for the "
+                              "synthetic clients (default %(default)s)")
+    fleet_p.add_argument("--timeout", type=float, default=10.0,
+                         help="per-request deadline in seconds (default "
+                              "%(default)s)")
+    fleet_p.add_argument("--chaos", action="store_true",
+                         help="fault-inject a fraction of the replicas "
+                              "(deterministic from --chaos-seed)")
+    fleet_p.add_argument("--chaos-seed", type=int, default=0)
+    fleet_p.add_argument("--chaos-fraction", type=float, default=0.2,
+                         help="fraction of replicas to infect (default "
+                              "%(default)s)")
+    fleet_p.add_argument("--chaos-exception-p", type=float, default=0.15,
+                         help="per-run probability of an injected "
+                              "mid-batch exception")
+    fleet_p.add_argument("--chaos-corrupt-p", type=float, default=0.10,
+                         help="per-run probability of a NaN-corrupted "
+                              "output")
+    fleet_p.add_argument("--chaos-crash-p", type=float, default=0.05,
+                         help="per-run probability of worker death")
+    fleet_p.add_argument("--chaos-spike-p", type=float, default=0.05,
+                         help="per-run probability of a latency spike")
+    fleet_p.add_argument("--chaos-spike-ms", type=float, default=10.0,
+                         help="latency-spike magnitude (default "
+                              "%(default)s ms)")
+
     cal = sub.add_parser(
         "calibrate",
         help="measure compiled kernels, fit correction factors, persist",
@@ -399,6 +454,124 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fleet(args: argparse.Namespace) -> int:
+    """`repro fleet`: replicated serving with optional chaos."""
+    import math
+    import threading
+    import time
+
+    import numpy as np
+
+    from repro.serving import (
+        CorruptedOutput,
+        DeadlineExceeded,
+        FaultInjector,
+        FaultSpec,
+        InjectedFault,
+        Overloaded,
+        WorkerCrash,
+        deploy_fleet,
+    )
+    from repro.utils.tables import Table
+
+    devices = [get_device(name) for name in args.devices.split(",")]
+    priorities = args.priorities.split(",")
+    typed = (Overloaded, DeadlineExceeded, CorruptedOutput,
+             InjectedFault, WorkerCrash)
+
+    t0 = time.perf_counter()
+    fleet = deploy_fleet(
+        args.model, devices,
+        replicas_per_device=args.replicas, backend=args.backend,
+        image_hw=(args.image_size, args.image_size),
+        budget=args.budget, max_batch=args.max_batch,
+        router=args.router,
+        fallback_budget=args.fallback_budget or None,
+    )
+    deploy_wall = time.perf_counter() - t0
+
+    infected = []
+    if args.chaos:
+        injector = FaultInjector(seed=args.chaos_seed)
+        spec = FaultSpec(
+            exception_p=args.chaos_exception_p,
+            corrupt_p=args.chaos_corrupt_p,
+            crash_p=args.chaos_crash_p,
+            latency_spike_p=args.chaos_spike_p,
+            latency_spike_s=args.chaos_spike_ms * 1e-3,
+        )
+        n_infected = max(1, math.ceil(args.chaos_fraction
+                                      * len(fleet.replicas)))
+        for replica in fleet.replicas[:n_infected]:
+            injector.infect(replica.session, spec)
+            infected.append(replica.id)
+
+    rng = np.random.default_rng(0)
+    shape = fleet.replicas[0].session.executable.input_shape
+    xs = rng.standard_normal((8,) + shape)
+    n_clients = max(1, args.clients)
+    outcomes: dict = {}
+    lock = threading.Lock()
+
+    def client(c: int) -> None:
+        for j in range(args.requests // n_clients):
+            priority = priorities[(c + j) % len(priorities)]
+            try:
+                fleet.infer(xs[j % 8], priority=priority,
+                            timeout=args.timeout)
+                key = "completed"
+            except typed as exc:
+                key = type(exc).__name__
+            with lock:
+                outcomes[key] = outcomes.get(key, 0) + 1
+
+    t0 = time.perf_counter()
+    threads = [threading.Thread(target=client, args=(c,))
+               for c in range(n_clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    serve_wall = time.perf_counter() - t0
+    stats = fleet.stats()
+    fleet.close()
+
+    table = Table(
+        ["metric", "value"],
+        title=f"repro fleet: {args.model} x{len(fleet.replicas)} "
+              f"({args.router}"
+              + (f", chaos on {len(infected)} replicas" if infected
+                 else "") + ")",
+    )
+    table.add_row(["deploy wall (s)", deploy_wall])
+    served = outcomes.get("completed", 0)
+    table.add_row(["requests completed", served])
+    for key in sorted(outcomes):
+        if key != "completed":
+            table.add_row([f"typed error: {key}", outcomes[key]])
+    table.add_row(["throughput (req/s)",
+                   served / serve_wall if serve_wall else 0.0])
+    table.add_row(["retries", stats.retries])
+    table.add_row(["hedges", stats.hedges])
+    table.add_row(["corrupted outputs blocked", stats.corruption_blocked])
+    table.add_row(["degraded-mode engaged",
+                   stats.admission.degraded_mode])
+    for name, ps in sorted(stats.per_priority.items()):
+        table.add_row([
+            f"{name}: ok/degraded/missed",
+            f"{ps.completed}/{ps.degraded}/{ps.deadline_exceeded} "
+            f"(p99 {ps.p99_latency_s * 1e3:.2f} ms)",
+        ])
+    for rs in stats.replicas:
+        table.add_row([
+            f"replica {rs.replica_id}",
+            f"{rs.state} ok={rs.successes} fail={rs.failures} "
+            f"restarts={rs.restarts}",
+        ])
+    print(table.render())
+    return 0
+
+
 def _run_calibrate(args: argparse.Namespace) -> int:
     """`repro calibrate`: measure compiled kernels and fit corrections."""
     import numpy as np
@@ -550,6 +723,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_compiled(args)
     elif args.command == "serve":
         return _run_serve(args)
+    elif args.command == "fleet":
+        return _run_fleet(args)
     elif args.command == "calibrate":
         return _run_calibrate(args)
     elif args.command == "backends":

@@ -57,6 +57,12 @@ from repro.nn.module import Module
 _SENTINEL = object()
 
 
+class RequestCancelled(RuntimeError):
+    """The request was cancelled (caller timeout or hedge loser) before
+    its micro-batch ran; the worker skipped it instead of computing an
+    answer nobody is waiting for."""
+
+
 def latency_quantile(latencies: np.ndarray, q: float) -> float:
     """Proper linear-interpolation quantile of a latency sample.
 
@@ -147,12 +153,14 @@ class AutoReplanPolicy:
 class _Pending:
     """Handle for one submitted request (a tiny future)."""
 
-    __slots__ = ("_event", "_result", "_error", "enqueued_at", "done_at")
+    __slots__ = ("_event", "_result", "_error", "_cancelled",
+                 "enqueued_at", "done_at")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._result: Optional[np.ndarray] = None
         self._error: Optional[BaseException] = None
+        self._cancelled = False
         self.enqueued_at = time.perf_counter()
         self.done_at: Optional[float] = None
 
@@ -166,9 +174,36 @@ class _Pending:
     def done(self) -> bool:
         return self._event.is_set()
 
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until finished (or ``timeout``); True when done."""
+        return self._event.wait(timeout)
+
+    def cancel(self) -> bool:
+        """Best-effort cancellation of a still-queued request.
+
+        Marks the pending so the worker skips it instead of burning
+        micro-batch capacity on abandoned work.  Returns False when the
+        request already finished; a request the worker has already
+        staged may still be computed (its result is simply discarded).
+        """
+        if self._event.is_set():
+            return False
+        self._cancelled = True
+        return True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
     def result(self, timeout: Optional[float] = None) -> np.ndarray:
-        """Block until the micro-batch containing this request ran."""
+        """Block until the micro-batch containing this request ran.
+
+        On timeout the request is *cancelled*: the worker will skip it
+        if it is still queued, so an abandoned waiter never costs batch
+        capacity.
+        """
         if not self._event.wait(timeout):
+            self.cancel()
             raise TimeoutError("inference request timed out")
         if self._error is not None:
             raise self._error
@@ -207,6 +242,16 @@ class SessionStats:
     predicted_latency_s: float = 0.0
     drift_ratio: float = 0.0
     replans: int = 0
+    #: Batches whose Executable.run raised; their waiters got the
+    #: exception and the worker kept serving.
+    failures: int = 0
+    #: Requests skipped because the caller cancelled (timed out) while
+    #: they were still queued.
+    cancelled: int = 0
+    #: False after a fatal (BaseException) crash killed the worker;
+    #: the session is closed and rejects new submissions immediately.
+    worker_alive: bool = True
+    last_error: Optional[str] = None
 
 
 class InferenceSession:
@@ -261,6 +306,10 @@ class InferenceSession:
         self._batches = 0
         self._batched_requests = 0
         self._batch_histogram: Dict[int, int] = {}
+        self._failures = 0
+        self._cancelled = 0
+        self._worker_died = False
+        self._last_error: Optional[str] = None
         self._latencies = _Ring(stats_window)
         # The drift ring must hold at least the policy's window of
         # observations, or `filled < policy.window` would gate forever
@@ -302,6 +351,11 @@ class InferenceSession:
             )
         pending = _Pending()
         self._queue.put((pending, x))
+        if self._closed:
+            # Raced a close() or a fatal worker crash: the worker may
+            # never pop this item, so reject everything queued now —
+            # the waiter gets an immediate error instead of a hang.
+            self._drain_rejecting()
         return pending
 
     def infer(self, x: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
@@ -332,8 +386,34 @@ class InferenceSession:
         return results
 
     # -- worker side --------------------------------------------------
+    def _reap_cancelled(
+        self, items: List[Tuple[_Pending, np.ndarray]]
+    ) -> List[Tuple[_Pending, np.ndarray]]:
+        """Drop cancelled pendings (finishing them) from a batch slice.
+
+        A waiter whose ``result(timeout)`` expired — or a fleet hedger
+        that already got its answer elsewhere — cancelled its handle;
+        computing it would burn micro-batch capacity on abandoned work.
+        """
+        live: List[Tuple[_Pending, np.ndarray]] = []
+        reaped = 0
+        for item in items:
+            if item[0].cancelled:
+                item[0]._finish(
+                    None,
+                    RequestCancelled("request cancelled before its "
+                                     "micro-batch ran"),
+                )
+                reaped += 1
+            else:
+                live.append(item)
+        if reaped:
+            with self._lock:
+                self._cancelled += reaped
+        return live
+
     def _collect_batch(self, first) -> List[Tuple[_Pending, np.ndarray]]:
-        batch = [first]
+        batch = self._reap_cancelled([first])
         deadline = time.perf_counter() + self.batch_window_s
         while len(batch) < self.max_batch:
             remaining = deadline - time.perf_counter()
@@ -348,7 +428,7 @@ class InferenceSession:
                 # Keep the shutdown signal for the outer loop.
                 self._queue.put(_SENTINEL)
                 break
-            batch.append(item)
+            batch.extend(self._reap_cancelled([item]))
         return batch
 
     def _drain_rejecting(self) -> None:
@@ -370,6 +450,11 @@ class InferenceSession:
                 self._drain_rejecting()
                 break
             batch = self._collect_batch(item)
+            # Re-check right before running: a cancel may have landed
+            # between collection and the batch window closing.
+            batch = self._reap_cancelled(batch)
+            if not batch:
+                continue
             b = len(batch)
             # The swap lock pins one executable (and its staging
             # buffer) for the whole batch; a concurrent hot swap waits
@@ -392,11 +477,34 @@ class InferenceSession:
                         for i, (pending, _) in enumerate(chunk):
                             pending._finish(y[i].copy())
                     run_wall = time.perf_counter() - t0
-                except BaseException as exc:  # surface to every waiter
+                except Exception as exc:
+                    # Surface the failure to every waiter in the batch
+                    # and keep the worker alive: one poisoned batch
+                    # (or chaos-injected fault) must not leave every
+                    # later submitter hanging until timeout.
                     for pending, _ in batch:
                         if not pending.done():
                             pending._finish(None, exc)
+                    with self._lock:
+                        self._failures += 1
+                        self._last_error = repr(exc)
                     continue
+                except BaseException as exc:
+                    # Fatal (simulated worker death, interpreter
+                    # shutdown): fail the batch, reject everything
+                    # still queued, and mark the session dead so new
+                    # submissions raise immediately instead of
+                    # enqueueing onto a worker that no longer exists.
+                    for pending, _ in batch:
+                        if not pending.done():
+                            pending._finish(None, exc)
+                    with self._lock:
+                        self._failures += 1
+                        self._worker_died = True
+                        self._last_error = repr(exc)
+                    self._closed = True
+                    self._drain_rejecting()
+                    return
             now_stats = [
                 p.latency for p, _ in batch if p.latency is not None
             ]
@@ -497,6 +605,14 @@ class InferenceSession:
         return old
 
     # -- lifecycle / stats --------------------------------------------
+    def queue_depth(self) -> int:
+        """Requests waiting in the queue (cheap; no locking of stats)."""
+        return self._queue.qsize()
+
+    def is_alive(self) -> bool:
+        """True while the session accepts work and its worker runs."""
+        return not self._closed and self._worker.is_alive()
+
     def stats(self) -> SessionStats:
         # Copy the bounded window under the lock; sort/quantile the
         # copy off-lock so heavy traffic never stalls behind a reader.
@@ -508,6 +624,10 @@ class InferenceSession:
             batched_requests = self._batched_requests
             histogram = dict(self._batch_histogram)
             replans = self._replans
+            failures = self._failures
+            cancelled = self._cancelled
+            worker_died = self._worker_died
+            last_error = self._last_error
         mean_lat = float(lat.mean()) if lat.size else 0.0
         drift = (
             float(math.exp(drift_logs.mean())) if drift_logs.size else 0.0
@@ -527,6 +647,10 @@ class InferenceSession:
             predicted_latency_s=self.executable.predicted_latency(),
             drift_ratio=drift,
             replans=replans,
+            failures=failures,
+            cancelled=cancelled,
+            worker_alive=not worker_died and self._worker.is_alive(),
+            last_error=last_error,
         )
 
     def close(self, timeout: Optional[float] = 5.0) -> None:
@@ -595,6 +719,11 @@ class SessionRegistry:
         self._sessions: Dict[str, InferenceSession] = {}
         self._deployments: Dict[str, _Deployment] = {}
         self._lock = threading.Lock()
+        # In-flight background recalibration jobs.  close_all() joins
+        # them (and blocks new spawns) so a job never races a closed
+        # session or a cleared registry.
+        self._recal_threads: List[threading.Thread] = []
+        self._closing = False
         # Serializes create(): deployment is cold-path, and holding one
         # lock across check+build+add means concurrent deploys of the
         # same key reuse instead of racing (and never leak a session).
@@ -738,6 +867,10 @@ class SessionRegistry:
 
         session = self.get(name)
         with self._lock:
+            if self._closing:
+                raise RuntimeError(
+                    "registry is closing; recalibration skipped"
+                )
             deployment = self._deployments.get(name)
         if deployment is None:
             raise KeyError(
@@ -795,16 +928,39 @@ class SessionRegistry:
                     f"auto-replan of session {name!r} failed: {exc}",
                     file=sys.stderr,
                 )
+            finally:
+                with self._lock:
+                    if thread in self._recal_threads:
+                        self._recal_threads.remove(thread)
 
-        threading.Thread(
+        thread = threading.Thread(
             target=job, name=f"recalibrate-{name}", daemon=True
-        ).start()
+        )
+        with self._lock:
+            if self._closing:
+                # The registry is shutting down; a recalibration
+                # started now would race the closed session.
+                session._replan_pending = False
+                return
+            self._recal_threads.append(thread)
+        thread.start()
 
     def close_all(self) -> None:
+        # Block new recalibration spawns, then join the in-flight jobs
+        # *before* tearing sessions down — a background job otherwise
+        # races the close (measuring a closed session, swapping into
+        # it, or KeyErroring on the cleared registry).
+        with self._lock:
+            self._closing = True
+            jobs = list(self._recal_threads)
+        for job in jobs:
+            job.join(timeout=60.0)
         with self._lock:
             sessions = list(self._sessions.values())
             self._sessions.clear()
             self._deployments.clear()
+            self._recal_threads.clear()
+            self._closing = False
         for session in sessions:
             session.close()
 

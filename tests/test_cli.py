@@ -31,6 +31,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["e2e", "--backend", "cutlass"])
 
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.router == "least-loaded"
+        assert args.chaos is False
+        assert args.fallback_budget == 0.3
+        assert args.priorities == "high,normal,low"
+
+    def test_fleet_chaos_flags(self):
+        args = build_parser().parse_args(
+            ["fleet", "--devices", "A100,2080Ti", "--chaos",
+             "--chaos-crash-p", "0.5", "--chaos-fraction", "0.5"]
+        )
+        assert args.devices == "A100,2080Ti"
+        assert args.chaos and args.chaos_crash_p == 0.5
+        assert args.chaos_fraction == 0.5
+
+    def test_fleet_unknown_router_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--router", "random"])
+
 
 class TestCommands:
     def test_fig4(self, capsys):
@@ -51,6 +71,16 @@ class TestCommands:
     def test_unknown_device_raises(self):
         with pytest.raises(KeyError):
             main(["fig4", "--device", "h100"])
+
+    def test_fleet_chaos_serves_all_requests(self, capsys):
+        assert main([
+            "fleet", "--requests", "24", "--replicas", "2",
+            "--clients", "2", "--chaos", "--timeout", "30",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "repro fleet" in out
+        assert "requests completed" in out
+        assert "replica resnet_tiny@A100#0" in out
 
     def test_backends_list(self, capsys):
         from repro.backends import known_backend_names
