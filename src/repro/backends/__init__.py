@@ -7,12 +7,14 @@ Importing this package registers the built-in backends; see
 
 from repro.backends.registry import (
     AUTO_BACKEND,
+    DEPTHWISE_BASELINE,
     CoreDispatch,
     KernelBackend,
     auto_dispatch,
     backend_names,
     base_device,
     dispatch_core,
+    dispatch_dwcore,
     get_backend,
     group_pairs_by_device,
     known_backend_names,
@@ -23,16 +25,20 @@ from repro.backends.registry import (
     validate_backend,
 )
 from repro.backends.builtin import PAPER_CORE_BACKENDS
+from repro.backends.fused import FusedBackend
 
 __all__ = [
     "AUTO_BACKEND",
+    "DEPTHWISE_BASELINE",
     "CoreDispatch",
+    "FusedBackend",
     "KernelBackend",
     "PAPER_CORE_BACKENDS",
     "auto_dispatch",
     "backend_names",
     "base_device",
     "dispatch_core",
+    "dispatch_dwcore",
     "get_backend",
     "group_pairs_by_device",
     "known_backend_names",

@@ -186,6 +186,43 @@ class KernelBackend:
             tiling=self.tiling(shape, base_device(device)),
         )
 
+    def dwcore_latency(
+        self,
+        shape: ConvShape,
+        device: DeviceSpec,
+        collapse_to: Optional[int] = None,
+    ) -> Optional[float]:
+        """Optional hook: latency for a *depthwise* middle stage.
+
+        CP/TT chains replace the dense Tucker core with a depthwise
+        RxS conv (``shape.c == shape.n``; for TT, ``collapse_to``
+        channels remain after the group-sum, whose cost the offer must
+        fold in).  Backends whose scheme can run that stage return a
+        simulated latency; the default ``None`` means "cannot" and
+        keeps the backend out of :func:`dispatch_dwcore` — dense-core
+        backends need no changes to stay correct.
+        """
+        return None
+
+    def calibrated_dwcore_latency(
+        self,
+        shape: ConvShape,
+        device: DeviceSpec,
+        collapse_to: Optional[int] = None,
+    ) -> Optional[float]:
+        """``dwcore_latency`` with any measured correction applied,
+        mirroring :meth:`calibrated_latency` (same per-backend/
+        shape-class factor keys)."""
+        raw = self.dwcore_latency(
+            shape, base_device(device), collapse_to=collapse_to
+        )
+        if raw is None:
+            return None
+        correction = getattr(device, "correction_for", None)
+        if correction is None:
+            return raw
+        return raw * correction(self.name, shape)
+
 
 def group_pairs_by_device(
     shapes_devices: Sequence[Tuple[ConvShape, DeviceSpec]],
@@ -338,3 +375,63 @@ def dispatch_core(
             f"on {device.name}"
         )
     return resolved.dispatch(shape, device)
+
+
+#: Pseudo-backend name of the baseline depthwise middle-stage kernel —
+#: not a registry entry (its 3-D weight is outside the dense-core
+#: protocol); :func:`dispatch_dwcore` uses it for the fallback offer.
+DEPTHWISE_BASELINE = "depthwise"
+
+
+def dispatch_dwcore(
+    shape: ConvShape,
+    device: DeviceSpec,
+    baseline_latency: float,
+    collapse_to: Optional[int] = None,
+    backend: str = AUTO_BACKEND,
+) -> CoreDispatch:
+    """Resolve a CP/TT depthwise middle stage.
+
+    The baseline — the standalone depthwise kernel (plus TT's
+    group-sum), priced by the caller — always competes.  Registered
+    backends join through the optional
+    :meth:`KernelBackend.dwcore_latency` hook:
+
+    - ``backend="auto"``: fastest of the baseline and every offering
+      backend (ties keep the baseline — it is the long-standing
+      default);
+    - a fixed name: that backend's offer whenever it makes one (the
+      fixed-backend contract, like :func:`dispatch_core`), else the
+      baseline.  Backends without the hook therefore plan exactly as
+      before, which keeps fixed-backend latency accounting (format
+      search, smoke gates) unchanged.
+    """
+    validate_backend(backend)
+    best = CoreDispatch(backend=DEPTHWISE_BASELINE, latency=baseline_latency)
+    base = base_device(device)
+    if backend != AUTO_BACKEND:
+        cand = get_backend(backend)
+        latency = cand.calibrated_dwcore_latency(
+            shape, device, collapse_to=collapse_to
+        )
+        if latency is None:
+            return best
+        return CoreDispatch(
+            backend=cand.name,
+            latency=latency,
+            tiling=cand.tiling(shape, base),
+        )
+    for cand in _REGISTRY.values():
+        try:
+            latency = cand.calibrated_dwcore_latency(
+                shape, device, collapse_to=collapse_to
+            )
+        except ValueError:
+            continue
+        if latency is not None and latency < best.latency:
+            best = CoreDispatch(
+                backend=cand.name,
+                latency=latency,
+                tiling=cand.tiling(shape, base),
+            )
+    return best

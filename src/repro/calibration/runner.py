@@ -35,8 +35,10 @@ from repro.calibration.model import (
     CalibrationFactor,
     store_factor,
 )
+from repro.backends import DEPTHWISE_BASELINE
 from repro.inference.executable import (
     CompiledConv2d,
+    CompiledFusedSite,
     CompiledTuckerConv2d,
     Executable,
 )
@@ -144,6 +146,8 @@ def _best_of(fn, warmup: int, repeats: int) -> float:
 
 def _site_shape(site) -> Optional[ConvShape]:
     """The plan-time core shape of one compiled site (output extent)."""
+    if isinstance(site, CompiledFusedSite):
+        return site.core_shape
     if isinstance(site, CompiledTuckerConv2d):
         d2, d1, r, s = site.core.shape
         _, _, oh, ow = site.z2.shape
@@ -168,7 +172,14 @@ def _raw_kernel_latency(kernel, shape: Optional[ConvShape], device) -> float:
     same correction the planner multiplied in recovers the raw value
     exactly.  Plain specs carry no corrections: identity.
     """
-    if kernel.kind in CORE_KINDS:
+    registry_priced = kernel.kind in CORE_KINDS or (
+        # A dwcore won by a registry backend was priced through
+        # ``calibrated_dwcore_latency`` (a per-backend correction);
+        # only the depthwise baseline goes through the aux factor.
+        kernel.kind == "dwcore"
+        and kernel.backend not in (None, DEPTHWISE_BASELINE)
+    )
+    if registry_priced:
         correction = getattr(device, "correction_for", None)
         if correction is None or shape is None:
             return kernel.latency
@@ -210,20 +221,29 @@ def run_calibration(
     # Plan-layer -> core shape, for inverting any correction already
     # baked into a calibrated plan's recorded latencies.
     core_shapes: Dict[str, ConvShape] = {}
+    # Layers belonging to a fused whole-chain site: the chain's wall
+    # time is measured as one sample, so every stage of it (pw1, core,
+    # pw2) must be attributed to the core bucket — otherwise the
+    # intermediate stages would be double-counted into ``__aux__``.
+    fused_layers = set()
     for site in executable.sites():
         shape = _site_shape(site)
         if shape is None:
             continue
-        if isinstance(site, CompiledTuckerConv2d):
+        if isinstance(site, (CompiledFusedSite, CompiledTuckerConv2d)):
             core_shapes[f"{site.site_name}.core"] = shape
         else:
             core_shapes[site.site_name] = shape
+        if isinstance(site, CompiledFusedSite):
+            fused_layers.update(
+                f"{site.site_name}{sfx}" for sfx in (".pw1", ".core", ".pw2")
+            )
     raw_total = 0.0
     raw_core = 0.0
     for kernel in plan.kernels:
         raw = _raw_kernel_latency(kernel, core_shapes.get(kernel.layer), device)
         raw_total += raw
-        if kernel.kind in CORE_KINDS:
+        if kernel.kind in CORE_KINDS or kernel.layer in fused_layers:
             raw_core += raw
     run = CalibrationRun(
         model_name=executable.model_name,
@@ -237,6 +257,37 @@ def run_calibration(
     for site in executable.sites():
         shape = _site_shape(site)
         if shape is None:
+            continue
+        if isinstance(site, CompiledFusedSite):
+            # The fused chain has no per-stage kernel to time in
+            # isolation: measure the whole pw1+core+pw2 forward against
+            # the summed raw predictions of its plan entries.  The
+            # sample lands under ("fused", shape class), giving the
+            # fused backend its own calibration entries.
+            predicted = sum(
+                _raw_kernel_latency(planned[layer], shape, device)
+                for layer in (
+                    f"{site.site_name}{sfx}"
+                    for sfx in (".pw1", ".core", ".pw2")
+                )
+                if layer in planned
+            )
+            dummy = np.zeros(
+                (1,) + site.input_shape, dtype=executable.dtype
+            )
+            measured = _best_of(
+                lambda s=site, d=dummy: s.forward(d), warmup, repeats
+            )
+            run.samples.append(
+                SiteSample(
+                    site=site.site_name,
+                    backend="fused",
+                    shape=shape,
+                    shape_class=shape_class(shape),
+                    predicted_s=predicted,
+                    measured_s=measured,
+                )
+            )
             continue
         if isinstance(site, CompiledTuckerConv2d):
             kernel = planned.get(f"{site.site_name}.core")

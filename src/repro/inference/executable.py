@@ -42,6 +42,7 @@ from repro.gpusim.device import DeviceSpec
 from repro.inference.plan import ExecutionPlan, PlannedKernel, plan_model
 from repro.kernels.base import ConvKernel, ConvShape, execution_dtype
 from repro.kernels.depthwise import DepthwiseConvKernel
+from repro.kernels.fused import FusedChainExecutor
 from repro.models.introspection import (
     LayerSite,
     find_module,
@@ -447,6 +448,99 @@ class CompiledTTConv2d(_CompiledSite):
         return out
 
 
+class CompiledFusedSite(_CompiledSite):
+    """A factored site bound to the fused whole-chain executor.
+
+    Replaces the per-stage compiled forms when the planner selects the
+    ``fused`` backend: the pw1 / core / pw2 stages (and TT's
+    group-sum) run in cache-resident row blocks
+    (:class:`~repro.kernels.fused.FusedChainExecutor`), so the full
+    ``(C', H, W)`` intermediate buffers the per-stage sites allocate
+    (``z1pad`` / ``ysame`` / ``z2`` / ``z3``) never enter the arena —
+    only the layer output and the small block scratch do.
+    """
+
+    def __init__(
+        self,
+        site: LayerSite,
+        arena: BufferArena,
+        max_batch: int,
+    ) -> None:
+        super().__init__(site.name, max_batch)
+        mod = site.module
+        fmt = site.format
+        dtype = arena.dtype
+        weights = mod.export_weights(dtype=dtype)
+        if fmt == "tucker":
+            assert isinstance(mod, TuckerConv2d)
+            mid_weight = weights["core"]       # (D2, D1, R, S)
+            mid_in, mid_out = mod.rank_in, mod.rank_out
+            collapse = None
+        elif fmt == "cp":
+            assert isinstance(mod, CPConv2d)
+            mid_weight = weights["dw"]         # (Q, R, S)
+            mid_in = mid_out = mod.rank
+            collapse = None
+        elif fmt == "tt":
+            assert isinstance(mod, TTConv2d)
+            mid_weight = weights["dw"]         # (r1*r2, R, S)
+            mid_in = mid_out = mod.rank1 * mod.rank2
+            collapse = mod.rank1
+        else:
+            raise ValueError(
+                f"site {site.name!r} (format {fmt!r}) has no fused "
+                f"execution path"
+            )
+        self.backend = "fused"
+        self.format = fmt
+        self.kernel = None   # no per-stage core kernel: the chain is one
+        k, p = mod.kernel_size, mod.padding
+        self.executor = FusedChainExecutor(
+            fmt,
+            weights["w_in"],
+            mid_weight,
+            weights["w_out"],
+            weights["bias"],
+            in_hw=(site.height, site.width),
+            kernel_size=k,
+            stride=mod.stride,
+            padding=p,
+            max_batch=max_batch,
+            collapse_to=collapse,
+            dtype=dtype,
+        )
+        oh, ow = self.executor.oh, self.executor.ow
+        self.input_shape = (mod.in_channels, site.height, site.width)
+        #: The plan-time core/dwcore shape (calibration keys on it).
+        self.core_shape = ConvShape(
+            c=mid_in, n=mid_out, h=oh, w=ow, r=k, s=k
+        )
+        self.out = arena.allocate(
+            f"{site.name}.out", (max_batch, mod.out_channels, oh, ow)
+        )
+        for sname, shape in self.executor.scratch_shapes().items():
+            arena.allocate(f"{site.name}.fused.{sname}", shape)
+        self.executor.bind({
+            sname: arena.get(f"{site.name}.fused.{sname}")
+            for sname in self.executor.scratch_shapes()
+        })
+        # Arena accounting: what the per-stage compiled form would have
+        # allocated for this site's intermediates (activation buffers;
+        # per-stage kernel scratch would only widen the gap).
+        hp, wp = site.height + 2 * p, site.width + 2 * p
+        per_stage = mid_in * hp * wp + mid_out * hp * wp \
+            + mid_out * oh * ow
+        if collapse is not None:
+            per_stage += collapse * oh * ow
+        itemsize = np.dtype(dtype).itemsize
+        self.per_stage_intermediate_bytes = max_batch * per_stage * itemsize
+        self.fused_scratch_bytes = self.executor.scratch_nbytes
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._check_batch(x)
+        return self.executor.run(x, self.out)
+
+
 class Executable:
     """A runnable, self-contained compilation of (plan, model, device).
 
@@ -501,6 +595,28 @@ class Executable:
     def predicted_latency(self) -> float:
         """The plan's simulated per-request latency (seconds)."""
         return self._predicted_latency
+
+    def arena_report(self) -> Dict[str, int]:
+        """Arena footprint, and what the fused sites saved.
+
+        ``saved_bytes`` is the per-stage intermediate allocation each
+        :class:`CompiledFusedSite` displaced, net of the block scratch
+        it added; ``per_stage_equiv_bytes`` is what the arena would
+        hold had every fused site compiled per-stage instead.
+        """
+        fused = [
+            s for s in self._sites if isinstance(s, CompiledFusedSite)
+        ]
+        saved = sum(
+            s.per_stage_intermediate_bytes - s.fused_scratch_bytes
+            for s in fused
+        )
+        return {
+            "arena_bytes": self.arena.nbytes,
+            "fused_sites": len(fused),
+            "saved_bytes": saved,
+            "per_stage_equiv_bytes": self.arena.nbytes + saved,
+        }
 
     def run(self, x: np.ndarray) -> np.ndarray:
         """Execute one request: ``(B, C, H, W)`` (or ``(C, H, W)``).
@@ -677,26 +793,36 @@ def compile_plan(
         mod = copied.module
         k, p = mod.kernel_size, mod.padding
         hp, wp = site.height + 2 * p, site.width + 2 * p
-        if site.format == "tucker":
+        if site.format in ("tucker", "cp", "tt"):
             planned = cores[site.name]
-            backend = get_backend(planned.backend)
-            exec_shape = ConvShape(
-                c=mod.rank_in, n=mod.rank_out, h=hp, w=wp, r=k, s=k
-            )
-            kernel = backend.kernel(exec_shape, device, tiling=planned.tiling)
-            compiled = CompiledTuckerConv2d(
-                copied, kernel, planned.backend, arena, max_batch
-            )
-        elif site.format == "cp":
-            # CP/TT middles bypass the dense-core registry: their 3-D
-            # depthwise weight only the depthwise kernel understands.
-            compiled = CompiledCPConv2d(
-                copied, DepthwiseConvKernel(), arena, max_batch
-            )
-        elif site.format == "tt":
-            compiled = CompiledTTConv2d(
-                copied, DepthwiseConvKernel(), arena, max_batch
-            )
+            if planned.backend == "fused":
+                # Whole-chain executor: the per-stage intermediate
+                # buffers never enter the arena.
+                compiled: _CompiledSite = CompiledFusedSite(
+                    copied, arena, max_batch
+                )
+            elif site.format == "tucker":
+                backend = get_backend(planned.backend)
+                exec_shape = ConvShape(
+                    c=mod.rank_in, n=mod.rank_out, h=hp, w=wp, r=k, s=k
+                )
+                kernel = backend.kernel(
+                    exec_shape, device, tiling=planned.tiling
+                )
+                compiled = CompiledTuckerConv2d(
+                    copied, kernel, planned.backend, arena, max_batch
+                )
+            elif site.format == "cp":
+                # CP/TT per-stage middles bypass the dense-core
+                # registry: their 3-D depthwise weight only the
+                # depthwise kernel understands.
+                compiled = CompiledCPConv2d(
+                    copied, DepthwiseConvKernel(), arena, max_batch
+                )
+            else:
+                compiled = CompiledTTConv2d(
+                    copied, DepthwiseConvKernel(), arena, max_batch
+                )
         else:
             planned = dense[site.name]
             if k == 1:

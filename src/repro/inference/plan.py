@@ -20,7 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.backends import dispatch_core, get_backend, validate_backend
+from repro.backends import (
+    dispatch_core,
+    dispatch_dwcore,
+    get_backend,
+    validate_backend,
+)
 from repro.codesign.rank_selection import RankPlan
 from repro.gpusim.device import DeviceSpec
 from repro.kernels.base import FLOAT_BYTES, ConvShape
@@ -77,12 +82,14 @@ class ExecutionPlan:
     def backend_counts(self) -> Dict[str, int]:
         """How many core convs each backend won (insertion order).
 
-        For a fixed-backend plan this is a single entry; under ``auto``
-        it summarizes the per-layer dispatch decisions.
+        Counts dense-core *and* depthwise-middle (``dwcore``) wins —
+        both resolve through the backend registry.  For a
+        fixed-backend plan this is a single entry; under ``auto`` it
+        summarizes the per-layer dispatch decisions.
         """
         out: Dict[str, int] = {}
         for k in self.kernels:
-            if k.kind == "core" and k.backend is not None:
+            if k.kind in ("core", "dwcore") and k.backend is not None:
                 out[k.backend] = out.get(k.backend, 0) + 1
         return out
 
@@ -208,8 +215,11 @@ def plan_model(
     :func:`repro.inference.compile_plan` later binds to numeric
     kernels.  A :class:`~repro.nn.tucker_conv.TuckerConv2d` core is
     dispatched through the backend registry; CP/TT cores are the
-    depthwise stage (kind ``"dwcore"``, always the depthwise kernel,
-    with TT's group-sum folded into its latency).  Kernel layer names
+    depthwise stage (kind ``"dwcore"``, resolved by
+    :func:`repro.backends.dispatch_dwcore` — the standalone depthwise
+    kernel unless a registered backend such as ``fused`` offers the
+    stage cheaper, with TT's group-sum folded into the latency either
+    way).  Kernel layer names
     are the model's dotted module names, so the plan round-trips to
     the module tree.
 
@@ -271,14 +281,25 @@ def plan_model(
                     ) * _aux_scale(device, "pointwise"),
                 )
             )
+            dw_dispatch = dispatch_dwcore(
+                ConvShape(
+                    c=mid, n=mid, h=oh, w=ow,
+                    r=mod.kernel_size, s=mod.kernel_size,
+                ),
+                device,
+                _dwcore_latency(
+                    mid, oh, ow, mod.kernel_size, device,
+                    collapse_to=collapse,
+                ),
+                collapse_to=collapse,
+                backend=core_backend,
+            )
             plan.kernels.append(
                 PlannedKernel(
                     layer=f"{site.name}.core", kind="dwcore",
-                    latency=_dwcore_latency(
-                        mid, oh, ow, mod.kernel_size, device,
-                        collapse_to=collapse,
-                    ),
-                    backend="depthwise",
+                    latency=dw_dispatch.latency,
+                    backend=dw_dispatch.backend,
+                    tiling=dw_dispatch.tiling,
                 )
             )
             plan.kernels.append(
@@ -361,8 +382,9 @@ def plan_tucker_model(
     setup).  A Tucker core goes through the registry: any registered
     backend name, or ``"auto"`` to pick the fastest registered backend
     per layer (the winner is recorded on each core
-    :class:`PlannedKernel`).  CP/TT middle stages always plan as the
-    depthwise kernel (kind ``"dwcore"``).
+    :class:`PlannedKernel`).  CP/TT middle stages (kind ``"dwcore"``)
+    resolve through :func:`repro.backends.dispatch_dwcore` under the
+    same ``core_backend`` policy.
     """
     # Fail fast: an unknown backend raises here, with the registry's
     # known names, not mid-plan at the first decomposed conv.
@@ -428,14 +450,26 @@ def plan_tucker_model(
                         )
                     )
                 else:
+                    dw_dispatch = dispatch_dwcore(
+                        ConvShape(
+                            c=mid, n=mid,
+                            h=layer.out_height, w=layer.out_width,
+                            r=layer.kernel, s=layer.kernel,
+                        ),
+                        device,
+                        _dwcore_latency(
+                            mid, layer.out_height, layer.out_width,
+                            layer.kernel, device, collapse_to=collapse,
+                        ),
+                        collapse_to=collapse,
+                        backend=core_backend,
+                    )
                     plan.kernels.append(
                         PlannedKernel(
                             layer=f"{layer.name}.core", kind="dwcore",
-                            latency=_dwcore_latency(
-                                mid, layer.out_height, layer.out_width,
-                                layer.kernel, device, collapse_to=collapse,
-                            ),
-                            backend="depthwise",
+                            latency=dw_dispatch.latency,
+                            backend=dw_dispatch.backend,
+                            tiling=dw_dispatch.tiling,
                         )
                     )
                 plan.kernels.append(

@@ -80,3 +80,116 @@ class TestLayoutConversion:
             convert_kernel_to_crsn(rng.standard_normal((4, 3, 3)))
         with pytest.raises(ValueError):
             convert_kernel_from_crsn(rng.standard_normal((4, 3)))
+
+
+class TestFusedSourceGeneration:
+    """The fused whole-chain variant of the generator."""
+
+    def spec(self, fmt="tucker", relu=False):
+        from repro.kernels.codegen import FusedChainSpec
+
+        collapse = 2 if fmt == "tt" else None
+        mid_in = 6 if fmt != "tucker" else 12
+        mid_out = 6 if fmt != "tucker" else 16
+        return FusedChainSpec(
+            fmt=fmt, c=32, n=64, mid_in=mid_in, mid_out=mid_out,
+            h=16, w=16, r=3, s=3, collapse_to=collapse, relu=relu,
+        )
+
+    def tiling(self, spec):
+        from repro.gpusim.device import A100
+        from repro.kernels.fused import select_fused_tiling
+
+        return select_fused_tiling(spec.core_shape, A100)
+
+    @pytest.mark.parametrize("fmt", ["tucker", "cp", "tt"])
+    def test_contains_all_constants(self, fmt):
+        from repro.kernels.codegen import (
+            fused_kernel_constants,
+            generate_fused_kernel_source,
+        )
+
+        spec = self.spec(fmt)
+        t = self.tiling(spec)
+        src = generate_fused_kernel_source(spec, t)
+        for define, value in fused_kernel_constants(spec, t).items():
+            assert f"#define {define} {value}" in src
+
+    @pytest.mark.parametrize("fmt", ["tucker", "cp", "tt"])
+    def test_smem_matches_simulator_accounting(self, fmt):
+        from repro.gpusim.device import A100
+        from repro.kernels.codegen import generate_fused_kernel_source
+        from repro.kernels.fused import fused_core_launch, fused_smem_bytes
+
+        spec = self.spec(fmt)
+        t = self.tiling(spec)
+        src = generate_fused_kernel_source(spec, t)
+        smem = fused_smem_bytes(spec.core_shape, t)
+        assert f"{smem} bytes" in src
+        assert fused_core_launch(spec.core_shape, A100, t) \
+            .smem_per_block == smem
+
+    def test_two_syncs_per_stage(self):
+        from repro.kernels.codegen import generate_fused_kernel_source
+
+        spec = self.spec("tucker")
+        src = generate_fused_kernel_source(spec, self.tiling(spec))
+        # One sync after pw1 staging, one after the core accumulate;
+        # the epilogue needs none (acc is read-only by then).
+        assert src.count("__syncthreads()") == 2
+
+    def test_no_intermediate_global_traffic(self):
+        from repro.kernels.codegen import generate_fused_kernel_source
+
+        spec = self.spec("tucker")
+        src = generate_fused_kernel_source(spec, self.tiling(spec))
+        assert "atomicAdd" not in src          # single-pass output write
+        body = src.split("__global__")[1]
+        # Intermediates live in shared memory only.
+        assert "__shared__ float z1_tile" in body
+        assert "__shared__ float acc" in body
+        assert body.count("output[") == 1      # exactly one global store
+
+    def test_epilogue_folds_bias_and_relu(self):
+        from repro.kernels.codegen import generate_fused_kernel_source
+
+        spec = self.spec("cp", relu=True)
+        src = generate_fused_kernel_source(spec, self.tiling(spec))
+        assert "float o = bias[n];" in src
+        assert "fused ReLU" in src
+        plain = generate_fused_kernel_source(
+            self.spec("cp", relu=False), self.tiling(spec)
+        )
+        assert "fused ReLU" not in plain
+
+    def test_tt_emits_group_sum(self):
+        from repro.kernels.codegen import generate_fused_kernel_source
+
+        spec = self.spec("tt")
+        src = generate_fused_kernel_source(spec, self.tiling(spec))
+        assert "TT group-sum" in src
+        assert f"#define DRAIN {spec.collapse_to}" in src
+
+    def test_balanced_braces(self):
+        from repro.kernels.codegen import generate_fused_kernel_source
+
+        for fmt in ("tucker", "cp", "tt"):
+            spec = self.spec(fmt)
+            src = generate_fused_kernel_source(spec, self.tiling(spec))
+            assert src.count("{") == src.count("}")
+
+    def test_spec_validation(self):
+        from repro.kernels.codegen import FusedChainSpec
+
+        with pytest.raises(ValueError, match="unknown fused format"):
+            FusedChainSpec(fmt="svd", c=4, n=4, mid_in=2, mid_out=2,
+                           h=4, w=4, r=3, s=3)
+        with pytest.raises(ValueError, match="depthwise"):
+            FusedChainSpec(fmt="cp", c=4, n=4, mid_in=2, mid_out=3,
+                           h=4, w=4, r=3, s=3)
+        with pytest.raises(ValueError, match="collapse_to"):
+            FusedChainSpec(fmt="tucker", c=4, n=4, mid_in=2, mid_out=3,
+                           h=4, w=4, r=3, s=3, collapse_to=2)
+        with pytest.raises(ValueError, match="dividing"):
+            FusedChainSpec(fmt="tt", c=4, n=4, mid_in=5, mid_out=5,
+                           h=4, w=4, r=3, s=3, collapse_to=2)

@@ -298,6 +298,12 @@ def test_mixed_format_plan_kinds_and_compiled_sites(mixed_model):
     assert kinds[f"{tucker_site}.core"] == "core"
     assert kinds[f"{cp_site}.core"] == "dwcore"
     assert kinds[f"{tt_site}.core"] == "dwcore"
+    # A fixed per-stage backend binds the per-stage compiled forms
+    # (under "auto" the fused backend may win and replace them with
+    # CompiledFusedSite — covered in test_fused.py).
+    plan = plan_model(
+        model, A100, IMAGE_HW, core_backend="tdc-model", sites=sites,
+    )
     exe = compile_plan(
         plan, model, A100, image_hw=IMAGE_HW, max_batch=1, sites=sites,
     )
