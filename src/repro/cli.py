@@ -95,6 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--no-decompose", action="store_true",
                        help="compile the dense model without Tucker "
                             "decomposition")
+    run_p.add_argument("--threads", type=int, default=None,
+                       help="parallel-engine worker lanes (default: "
+                            "REPRO_NUM_THREADS or min(cores, 8); 1 = "
+                            "serial)")
 
     serve_p = sub.add_parser(
         "serve", help="deploy a micro-batching inference session"
@@ -115,6 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--window-ms", type=float, default=2.0,
                          help="micro-batching window (default %(default)s)")
     serve_p.add_argument("--budget", type=float, default=0.5)
+    serve_p.add_argument("--threads", type=int, default=None,
+                         help="parallel-engine worker lanes (default: "
+                              "REPRO_NUM_THREADS or min(cores, 8); 1 = "
+                              "serial)")
 
     fleet_p = sub.add_parser(
         "fleet",
@@ -170,6 +178,10 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_p.add_argument("--chaos-spike-ms", type=float, default=10.0,
                          help="latency-spike magnitude (default "
                               "%(default)s ms)")
+    fleet_p.add_argument("--threads", type=int, default=None,
+                         help="parallel-engine worker lanes per replica "
+                              "(default: REPRO_NUM_THREADS or "
+                              "min(cores, 8); 1 = serial)")
 
     cal = sub.add_parser(
         "calibrate",
@@ -350,6 +362,7 @@ def _run_compiled(args: argparse.Namespace) -> int:
     exe = compile_model(
         model, device, image_hw=hw, core_backend=args.backend,
         max_batch=args.batch, model_name=args.model,
+        threads=args.threads,
     )
     compile_wall = time.perf_counter() - t0
     x = np.random.default_rng(0).standard_normal(
@@ -362,6 +375,12 @@ def _run_compiled(args: argparse.Namespace) -> int:
     table.add_row(["cold compile wall (ms)", compile_wall * 1e3])
     table.add_row(["bound conv sites", len(exe.sites())])
     table.add_row(["core dispatch", str(exe.backend_counts() or "-")])
+    par = exe.parallel_report()
+    table.add_row(["worker lanes", exe.threads])
+    table.add_row([
+        "parallel sites",
+        f"{par['parallel_sites']}/{par['parallel_sites'] + par['serial_sites']}",
+    ])
     table.add_row(["arena buffers", exe.arena.n_buffers])
     table.add_row(["arena size (kB)", exe.arena.nbytes / 1e3])
     table.add_row(["predicted latency (ms)", exe.predicted_latency() * 1e3])
@@ -389,7 +408,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         session = registry.create(
             args.model, device, backend=args.backend, image_hw=hw,
             budget=args.budget, max_batch=args.max_batch,
-            batch_window_s=args.window_ms * 1e-3,
+            batch_window_s=args.window_ms * 1e-3, threads=args.threads,
         )
     except ValueError as exc:
         # Rank selection can legitimately decompose nothing (θ rule /
@@ -398,7 +417,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         session = registry.create(
             args.model, device, backend=args.backend, image_hw=hw,
             decompose=False, max_batch=args.max_batch,
-            batch_window_s=args.window_ms * 1e-3,
+            batch_window_s=args.window_ms * 1e-3, threads=args.threads,
         )
     deploy_wall = time.perf_counter() - t0
 
@@ -487,6 +506,7 @@ def _run_fleet(args: argparse.Namespace) -> int:
         budget=args.budget, max_batch=args.max_batch,
         router=args.router,
         fallback_budget=args.fallback_budget or None,
+        threads=args.threads,
     )
     deploy_wall = time.perf_counter() - t0
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import copy
 import time
+from dataclasses import replace as dc_replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -42,7 +43,7 @@ from repro.gpusim.device import DeviceSpec
 from repro.inference.plan import ExecutionPlan, PlannedKernel, plan_model
 from repro.kernels.base import ConvKernel, ConvShape, execution_dtype
 from repro.kernels.depthwise import DepthwiseConvKernel
-from repro.kernels.fused import FusedChainExecutor
+from repro.kernels.fused import FusedChainExecutor, select_block_rows
 from repro.models.introspection import (
     LayerSite,
     find_module,
@@ -55,6 +56,10 @@ from repro.nn.functional import conv_out_size
 from repro.nn.module import Module
 from repro.nn.tt_conv import TTConv2d
 from repro.nn.tucker_conv import TuckerConv2d
+from repro.perfmodel.parallel import should_parallelize
+from repro.runtime.engine import SiteParallel
+from repro.runtime.pool import get_pool, resolve_threads
+from repro.runtime.prepared import prepare_tdc_runner
 
 #: Plan kernel kinds that bind to a model conv site.
 _CONV_KINDS = ("conv", "pointwise", "core", "dwcore")
@@ -107,6 +112,15 @@ class BufferArena:
         return sum(b.nbytes for b in self._buffers.values())
 
 
+def _row_task(runner, xpad, out, blocks, scratch):
+    """One lane's row-block task: walk its (cache-capped) blocks
+    sequentially with its own scratch; ``xpad`` is read-only shared."""
+    def task():
+        for lo, hi in blocks:
+            runner.run_rows(xpad, out, lo, hi, scratch)
+    return task
+
+
 def _strided_rows(
     extent: int, kernel: int, stride: int, padding: int
 ) -> Tuple[slice, int]:
@@ -118,7 +132,24 @@ def _strided_rows(
 
 
 class _CompiledSite(Module):
-    """Base for compiled conv sites: inference-only bound kernels."""
+    """Base for compiled conv sites: inference-only bound kernels.
+
+    ``forward`` dispatches between the serial body and the worker-pool
+    sharded body: ``_parallel`` is ``None`` unless :func:`compile_plan`
+    decided (via the perf model) that this site shards, in which case
+    it holds the site's :class:`~repro.runtime.SiteParallel` state —
+    lane scratch, shard geometry, the prepared runner.  Sharding axes:
+
+    - batch shards when the request batch supports >= 2 shards of
+      >= 2 samples each (``_forward_shard`` runs the full site body on
+      a contiguous sample range, one lane per shard);
+    - output row blocks at small batch, only on sites whose core
+      exposes a row entry point (``_forward_rows``);
+    - otherwise the exact serial body (``_forward_serial``).
+    """
+
+    #: Set by compile_plan when the perf model picks parallel (else None).
+    _parallel = None
 
     def __init__(self, name: str, max_batch: int) -> None:
         super().__init__()
@@ -134,6 +165,41 @@ class _CompiledSite(Module):
                 f"with a larger max_batch or split the request"
             )
         return b
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        b = self._check_batch(x)
+        par = self._parallel
+        if par is not None:
+            shards = par.batch_shards(b)
+            if len(shards) > 1:
+                par.run_tasks([
+                    self._shard_task(x, lo, hi, lane)
+                    for lane, (lo, hi) in enumerate(shards)
+                ])
+                return self.out[:b]
+            if len(par.row_lane_groups) > 1:
+                y = self._forward_rows(x, b, par)
+                if y is not None:
+                    return y
+        return self._forward_serial(x, b)
+
+    def _shard_task(self, x: np.ndarray, lo: int, hi: int, lane: int):
+        return lambda: self._forward_shard(x, lo, hi, lane)
+
+    def _forward_serial(self, x: np.ndarray, b: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def _forward_shard(
+        self, x: np.ndarray, lo: int, hi: int, lane: int
+    ) -> None:
+        """Run the full site body on samples ``[lo, hi)`` with lane
+        scratch; only reached when ``_parallel`` is set."""
+        raise NotImplementedError
+
+    def _forward_rows(self, x: np.ndarray, b: int, par):
+        """Row-block fan-out; ``None`` means fall back to serial (only
+        sites with a row-capable prepared runner override this)."""
+        return None
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         raise RuntimeError(
@@ -200,33 +266,40 @@ class CompiledConv2d(_CompiledSite):
                 arena.adopt(f"{site.name}.scratch.{sname}", buf)
             self.scratch = scratch
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        b = self._check_batch(x)
-        out = self.out[:b]
+    def _forward_serial(self, x: np.ndarray, b: int) -> np.ndarray:
+        self._body(x, 0, b, 0, self.scratch, self.kernel)
+        return self.out[:b]
+
+    def _forward_shard(
+        self, x: np.ndarray, lo: int, hi: int, lane: int
+    ) -> None:
+        par = self._parallel
+        runner = par.runner or self.kernel
+        self._body(x, lo, hi, lane, par.lane_scratch[lane], runner)
+
+    def _body(self, x, lo, hi, lane, scratch, kernel) -> None:
+        out = self.out[lo:hi]
         p = self.padding
         if self.kernel_size == 1:
             if self.xpad is None:
-                src = x[:, :, self._rows, self._cols]
+                src = x[lo:hi, :, self._rows, self._cols]
             else:
-                xpad = self.xpad[:b]
-                xpad[:, :, p : p + x.shape[2], p : p + x.shape[3]] = x
+                xpad = self.xpad[lo:hi]
+                xpad[:, :, p : p + x.shape[2], p : p + x.shape[3]] = x[lo:hi]
                 src = xpad[:, :, self._rows, self._cols]
             np.einsum(
                 "nc,bchw->bnhw", self.weight[:, :, 0, 0], src,
                 out=out, optimize=True,
             )
         else:
-            xpad = self.xpad[:b]
-            xpad[:, :, p : p + x.shape[2], p : p + x.shape[3]] = x
-            ysame = self.ysame[:b]
-            for i in range(b):
-                self.kernel.run_into(
-                    xpad[i], self.weight, ysame[i], self.scratch
-                )
+            xpad = self.xpad[lo:hi]
+            xpad[:, :, p : p + x.shape[2], p : p + x.shape[3]] = x[lo:hi]
+            ysame = self.ysame[lo:hi]
+            for i in range(hi - lo):
+                kernel.run_into(xpad[i], self.weight, ysame[i], scratch)
             out[...] = ysame[:, :, self._rows, self._cols]
         if self.bias is not None:
             out += self.bias[None, :, None, None]
-        return out
 
 
 class CompiledTuckerConv2d(_CompiledSite):
@@ -277,8 +350,7 @@ class CompiledTuckerConv2d(_CompiledSite):
             arena.adopt(f"{site.name}.scratch.{sname}", buf)
         self.scratch = scratch
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        b = self._check_batch(x)
+    def _forward_serial(self, x: np.ndarray, b: int) -> np.ndarray:
         ri, ci = self._interior
         z1 = self.z1pad[:b, :, ri, ci]
         # Stage 1 (Eq. 2): first-mode projection, written straight into
@@ -290,14 +362,58 @@ class CompiledTuckerConv2d(_CompiledSite):
             self.kernel.run_into(
                 self.z1pad[i], self.core, ysame[i], self.scratch
             )
+        return self._epilogue(b)
+
+    def _epilogue(self, b: int) -> np.ndarray:
         z2 = self.z2[:b]
-        z2[...] = ysame[:, :, self._rows, self._cols]
+        z2[...] = self.ysame[:b, :, self._rows, self._cols]
         # Stage 3 (Eq. 4): last-mode projection plus bias.
         out = self.out[:b]
         np.einsum("nd,bdhw->bnhw", self.w_out, z2, out=out, optimize=True)
         if self.bias is not None:
             out += self.bias[None, :, None, None]
         return out
+
+    def _forward_shard(
+        self, x: np.ndarray, lo: int, hi: int, lane: int
+    ) -> None:
+        par = self._parallel
+        scratch = par.lane_scratch[lane]
+        runner = par.runner or self.kernel
+        ri, ci = self._interior
+        z1 = self.z1pad[lo:hi, :, ri, ci]
+        np.einsum(
+            "dc,bchw->bdhw", self.w_in, x[lo:hi], out=z1, optimize=True
+        )
+        for i in range(lo, hi):
+            runner.run_into(self.z1pad[i], self.core, self.ysame[i], scratch)
+        z2 = self.z2[lo:hi]
+        z2[...] = self.ysame[lo:hi, :, self._rows, self._cols]
+        out = self.out[lo:hi]
+        np.einsum("nd,bdhw->bnhw", self.w_out, z2, out=out, optimize=True)
+        if self.bias is not None:
+            out += self.bias[None, :, None, None]
+
+    def _forward_rows(self, x: np.ndarray, b: int, par) -> np.ndarray:
+        """Small-batch axis: stage each sample's padded core input once,
+        then fan the core's output rows across lanes (bit-identical by
+        construction — lanes own disjoint rows and keep the serial
+        c-tile accumulation order)."""
+        runner = par.runner
+        ri, ci = self._interior
+        z1 = self.z1pad[:b, :, ri, ci]
+        np.einsum("dc,bchw->bdhw", self.w_in, x, out=z1, optimize=True)
+        scratch0 = par.lane_scratch[0]
+        xpad = scratch0["xpad"]
+        for i in range(b):
+            runner.stage(self.z1pad[i], scratch0)
+            yi = self.ysame[i]
+            yi.fill(0.0)
+            par.run_tasks([
+                _row_task(runner, xpad, yi, blocks, par.lane_scratch[lane])
+                for lane, blocks in enumerate(par.row_lane_groups)
+            ])
+        return self._epilogue(b)
 
 
 class CompiledCPConv2d(_CompiledSite):
@@ -347,27 +463,35 @@ class CompiledCPConv2d(_CompiledSite):
             arena.adopt(f"{site.name}.scratch.{sname}", buf)
         self.scratch = scratch
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        b = self._check_batch(x)
+    def _forward_serial(self, x: np.ndarray, b: int) -> np.ndarray:
+        self._body(x, 0, b, self.scratch)
+        return self.out[:b]
+
+    def _forward_shard(
+        self, x: np.ndarray, lo: int, hi: int, lane: int
+    ) -> None:
+        self._body(x, lo, hi, self._parallel.lane_scratch[lane])
+
+    def _body(self, x, lo, hi, scratch) -> None:
         ri, ci = self._interior
-        z1 = self.z1pad[:b, :, ri, ci]
+        z1 = self.z1pad[lo:hi, :, ri, ci]
         # Stage 1: input projection, written straight into the padded
         # depthwise input (the border stays zero).
-        np.einsum("qc,bchw->bqhw", self.w_in, x, out=z1, optimize=True)
+        np.einsum(
+            "qc,bchw->bqhw", self.w_in, x[lo:hi], out=z1, optimize=True
+        )
         # Stage 2: per-channel RxS conv at the padded extent, per sample.
-        ysame = self.ysame[:b]
-        for i in range(b):
+        for i in range(lo, hi):
             self.kernel.run_into(
-                self.z1pad[i], self.dw, ysame[i], self.scratch
+                self.z1pad[i], self.dw, self.ysame[i], scratch
             )
-        z2 = self.z2[:b]
-        z2[...] = ysame[:, :, self._rows, self._cols]
+        z2 = self.z2[lo:hi]
+        z2[...] = self.ysame[lo:hi, :, self._rows, self._cols]
         # Stage 3: output projection plus bias.
-        out = self.out[:b]
+        out = self.out[lo:hi]
         np.einsum("nq,bqhw->bnhw", self.w_out, z2, out=out, optimize=True)
         if self.bias is not None:
             out += self.bias[None, :, None, None]
-        return out
 
 
 class CompiledTTConv2d(_CompiledSite):
@@ -422,30 +546,39 @@ class CompiledTTConv2d(_CompiledSite):
             arena.adopt(f"{site.name}.scratch.{sname}", buf)
         self.scratch = scratch
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        b = self._check_batch(x)
+    def _forward_serial(self, x: np.ndarray, b: int) -> np.ndarray:
+        self._body(x, 0, b, self.scratch)
+        return self.out[:b]
+
+    def _forward_shard(
+        self, x: np.ndarray, lo: int, hi: int, lane: int
+    ) -> None:
+        self._body(x, lo, hi, self._parallel.lane_scratch[lane])
+
+    def _body(self, x, lo, hi, scratch) -> None:
         ri, ci = self._interior
-        z1 = self.z1pad[:b, :, ri, ci]
-        np.einsum("qc,bchw->bqhw", self.w_in, x, out=z1, optimize=True)
-        ysame = self.ysame[:b]
-        for i in range(b):
+        z1 = self.z1pad[lo:hi, :, ri, ci]
+        np.einsum(
+            "qc,bchw->bqhw", self.w_in, x[lo:hi], out=z1, optimize=True
+        )
+        for i in range(lo, hi):
             self.kernel.run_into(
-                self.z1pad[i], self.dw, ysame[i], self.scratch
+                self.z1pad[i], self.dw, self.ysame[i], scratch
             )
-        z2 = self.z2[:b]
-        z2[...] = ysame[:, :, self._rows, self._cols]
+        z2 = self.z2[lo:hi]
+        z2[...] = self.ysame[lo:hi, :, self._rows, self._cols]
         # Group-sum: collapse the r2 dimension (the memory-bound kernel
         # the plan folds into the dwcore latency).
-        z3 = self.z3[:b]
+        z3 = self.z3[lo:hi]
         oh, ow = z3.shape[2], z3.shape[3]
         np.sum(
-            z2.reshape(b, self.rank1, self.rank2, oh, ow), axis=2, out=z3
+            z2.reshape(hi - lo, self.rank1, self.rank2, oh, ow),
+            axis=2, out=z3,
         )
-        out = self.out[:b]
+        out = self.out[lo:hi]
         np.einsum("nq,bqhw->bnhw", self.w_out, z3, out=out, optimize=True)
         if self.bias is not None:
             out += self.bias[None, :, None, None]
-        return out
 
 
 class CompiledFusedSite(_CompiledSite):
@@ -536,9 +669,20 @@ class CompiledFusedSite(_CompiledSite):
         self.per_stage_intermediate_bytes = max_batch * per_stage * itemsize
         self.fused_scratch_bytes = self.executor.scratch_nbytes
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        self._check_batch(x)
+    def _forward_serial(self, x: np.ndarray, b: int) -> np.ndarray:
         return self.executor.run(x, self.out)
+
+    def _forward_shard(
+        self, x: np.ndarray, lo: int, hi: int, lane: int
+    ) -> None:
+        # Lane scratch: disjoint batch-sliced views of the bound
+        # buffers (all fused block scratch is per-sample along the
+        # leading axis), so batch shards add zero arena bytes.
+        bound = self.executor.bound_scratch
+        self.executor.run(
+            x[lo:hi], self.out[lo:hi],
+            scratch={name: buf[lo:hi] for name, buf in bound.items()},
+        )
 
 
 class Executable:
@@ -561,6 +705,7 @@ class Executable:
         sites: Sequence[_CompiledSite],
         input_shape: Tuple[int, int, int],
         max_batch: int,
+        threads: int = 1,
     ) -> None:
         self.plan = plan
         self.device = device
@@ -568,6 +713,8 @@ class Executable:
         self.arena = arena
         self.input_shape = tuple(input_shape)
         self.max_batch = int(max_batch)
+        #: Worker lanes this executable was compiled for (1 = serial).
+        self.threads = int(threads)
         self._model = model
         self._sites = list(sites)
         # The plan is immutable for this executable's lifetime; the
@@ -611,11 +758,48 @@ class Executable:
             s.per_stage_intermediate_bytes - s.fused_scratch_bytes
             for s in fused
         )
+        # Per-worker scratch the parallel lanes added: those buffers
+        # were adopted into the arena at compile (named
+        # ``<site>.scratch.w<lane>.<name>``), so ``arena_bytes``
+        # already counts them; this key breaks the total down so the
+        # report stays truthful under threads > 1.
+        per_worker = sum(
+            s._parallel.per_worker_scratch_bytes
+            for s in self._sites if s._parallel is not None
+        )
         return {
             "arena_bytes": self.arena.nbytes,
             "fused_sites": len(fused),
             "saved_bytes": saved,
             "per_stage_equiv_bytes": self.arena.nbytes + saved,
+            "workers": self.threads,
+            "per_worker_scratch_bytes": per_worker,
+        }
+
+    def parallel_report(self) -> Dict[str, object]:
+        """Compile-time parallel decisions, per site.
+
+        ``sites`` maps site name -> the perf model's verdict: estimated
+        speedup, the sharding axes available, and the lane scratch the
+        site added to the arena.  Serial sites (or a ``threads=1``
+        compile) simply do not appear.
+        """
+        sites: Dict[str, Dict[str, object]] = {}
+        for s in self._sites:
+            par = s._parallel
+            if par is None:
+                continue
+            sites[s.site_name] = {
+                "est_speedup": par.est_speedup,
+                "site_latency_s": par.site_latency_s,
+                "row_tasks": len(par.row_shards),
+                "per_worker_scratch_bytes": par.per_worker_scratch_bytes,
+            }
+        return {
+            "threads": self.threads,
+            "parallel_sites": len(sites),
+            "serial_sites": len(self._sites) - len(sites),
+            "sites": sites,
         }
 
     def run(self, x: np.ndarray) -> np.ndarray:
@@ -705,6 +889,87 @@ def _index_plan(
     return cores, dense
 
 
+def _kernel_site(k: PlannedKernel) -> str:
+    """The conv site a planned kernel belongs to (aux kinds pass
+    through unchanged)."""
+    if k.kind in ("core", "dwcore"):
+        return k.layer[: -len(".core")]
+    if k.kind in _CONV_KINDS and (
+        k.layer.endswith(".pw1") or k.layer.endswith(".pw2")
+    ):
+        return k.layer[:-4]
+    return k.layer
+
+
+def _site_latencies(
+    plan: ExecutionPlan, site_names: Sequence[str]
+) -> Dict[str, float]:
+    """Planned per-request latency per conv site: the sum of the
+    site's kernels (pw1 + core + pw2, or the dense conv) — the ``L``
+    the fork/join model weighs against lane overhead."""
+    names = set(site_names)
+    lat = {n: 0.0 for n in names}
+    for k in plan.kernels:
+        if k.kind not in _CONV_KINDS:
+            continue
+        site = _kernel_site(k)
+        if site in lat:
+            lat[site] += k.latency
+    return lat
+
+
+def _parallel_lane_state(
+    compiled: _CompiledSite,
+    arena: BufferArena,
+    threads: int,
+    dtype: np.dtype,
+):
+    """Carve per-lane scratch for one parallel site and specialize its
+    runner: ``(lane_scratch, runner, rows_cap)``.
+
+    Lane 0 reuses the site's own (serial) scratch; lanes ``1..T-1``
+    are fresh arena buffers named ``<site>.scratch.w<lane>.<name>`` so
+    ``arena.nbytes`` (and thus ``arena_report``) stays truthful.
+    Fused sites need no extra lanes at all — their block scratch is
+    per-sample along the leading axis, so batch shards slice the bound
+    buffers disjointly.
+    """
+    if isinstance(compiled, CompiledFusedSite) or compiled.scratch is None:
+        return [None] * threads, None, None
+    lanes: List[Optional[Dict[str, np.ndarray]]] = [compiled.scratch]
+    for lane in range(1, threads):
+        lanes.append({
+            name: arena.allocate(
+                f"{compiled.site_name}.scratch.w{lane}.{name}", buf.shape
+            )
+            for name, buf in compiled.scratch.items()
+        })
+    runner = None
+    rows_cap = None
+    if isinstance(compiled, (CompiledTuckerConv2d, CompiledConv2d)):
+        weight = (
+            compiled.core if isinstance(compiled, CompiledTuckerConv2d)
+            else compiled.weight
+        )
+        hp, wp = compiled.xpad.shape[2:] if isinstance(
+            compiled, CompiledConv2d
+        ) else compiled.z1pad.shape[2:]
+        shape = ConvShape(
+            c=weight.shape[1], n=weight.shape[0],
+            h=int(hp), w=int(wp), r=weight.shape[2], s=weight.shape[3],
+        )
+        runner = prepare_tdc_runner(compiled.kernel, weight, shape, dtype)
+        if runner is not None:
+            # Row-block budget from the fused path's cache model: the
+            # same L2-resident sizing, at the core's padded extent.
+            rows_cap = select_block_rows(
+                shape.c, shape.n, shape.h, shape.w,
+                shape.w + shape.s - 1, shape.r, 1,
+                np.dtype(dtype).itemsize,
+            )
+    return lanes, runner, rows_cap
+
+
 def model_dtype(model: Module) -> np.dtype:
     """The execution dtype a model's own weights imply.
 
@@ -730,6 +995,7 @@ def compile_plan(
     max_batch: int = 1,
     dtype: Optional[np.dtype] = None,
     sites: Optional[Sequence[LayerSite]] = None,
+    threads: Optional[int] = None,
 ) -> Executable:
     """Bind an execution plan to a trainable model: the compile step.
 
@@ -749,7 +1015,19 @@ def compile_plan(
     (:func:`model_dtype`) — the execution path is dtype-preserving, so
     defaulting to float64 regardless would double the arena and force
     a cast on every float32 request.
+
+    ``threads`` enables the parallel execution engine: ``None``
+    resolves through ``REPRO_NUM_THREADS`` / ``min(cores, 8)``
+    (:func:`repro.runtime.resolve_threads`), ``1`` compiles exactly
+    the serial executable (same plan object, no pool, no lane
+    scratch).  With ``threads > 1`` the perf model decides *per site*
+    whether sharding beats the fork/join overhead; parallel sites get
+    per-lane scratch carved from the arena and the decision is
+    recorded on a copy of the plan (``PlannedKernel.parallel``).
+    Results are bit-identical to serial either way — the determinism
+    suite and ``benchmarks/bench_parallel.py`` pin exact equality.
     """
+    threads = resolve_threads(threads)
     if dtype is None:
         dtype = model_dtype(model)
     if sites is None:
@@ -840,6 +1118,46 @@ def compile_plan(
         replace_module(compiled_model, site.name, compiled)
         compiled_sites.append(compiled)
 
+    if threads > 1:
+        site_lat = _site_latencies(plan, [s.name for s in sites])
+        parallel_names = set()
+        pool = None
+        for site, compiled in zip(sites, compiled_sites):
+            go, est = should_parallelize(site_lat[site.name], threads)
+            if not go:
+                continue
+            if pool is None:
+                # threads lanes = the caller + (threads - 1) workers.
+                pool = get_pool(threads - 1)
+            lane_scratch, runner, rows_cap = _parallel_lane_state(
+                compiled, arena, threads, dtype
+            )
+            compiled._parallel = SiteParallel(
+                threads=threads,
+                pool=pool,
+                lane_scratch=lane_scratch,
+                runner=runner,
+                site_latency_s=site_lat[site.name],
+                est_speedup=est,
+                rows_cap=rows_cap,
+            )
+            parallel_names.add(site.name)
+        if parallel_names:
+            # Record the decision on a *copy*: the planner's plan (and
+            # any cache holding it) stays untouched.
+            plan = ExecutionPlan(
+                model_name=plan.model_name,
+                device_name=plan.device_name,
+                variant=plan.variant,
+                kernels=[
+                    dc_replace(k, parallel=True)
+                    if k.kind in _CONV_KINDS
+                    and _kernel_site(k) in parallel_names
+                    else k
+                    for k in plan.kernels
+                ],
+            )
+
     return Executable(
         plan=plan,
         device=device,
@@ -848,6 +1166,7 @@ def compile_plan(
         sites=compiled_sites,
         input_shape=(in_channels, image_hw[0], image_hw[1]),
         max_batch=max_batch,
+        threads=threads,
     )
 
 
@@ -861,6 +1180,7 @@ def compile_model(
     max_batch: int = 1,
     dtype: Optional[np.dtype] = None,
     model_name: Optional[str] = None,
+    threads: Optional[int] = None,
 ) -> Executable:
     """Plan + compile in one call (the common cold-path entry); the
     model is traced once and shared between the two phases."""
@@ -871,5 +1191,5 @@ def compile_model(
     )
     return compile_plan(
         plan, model, device, image_hw=image_hw, in_channels=in_channels,
-        max_batch=max_batch, dtype=dtype, sites=sites,
+        max_batch=max_batch, dtype=dtype, sites=sites, threads=threads,
     )

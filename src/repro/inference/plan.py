@@ -49,6 +49,13 @@ class PlannedKernel:
     which tiling/config, when the backend exposes one) produced the
     latency — for ``"core"`` kernels this is the dispatch decision,
     which under ``auto`` varies per layer.
+
+    ``parallel`` records the compile-time worker-pool decision
+    (:mod:`repro.perfmodel.parallel`): ``True`` on every kernel of a
+    site that shards its forward across lanes when the plan is
+    compiled with ``threads > 1``.  Plans built by the planner always
+    carry ``False``; :func:`~repro.inference.executable.compile_plan`
+    annotates a copy so the planner's output stays cacheable.
     """
 
     layer: str
@@ -59,6 +66,7 @@ class PlannedKernel:
     latency: float     # seconds, includes launch overhead
     backend: Optional[str] = None
     tiling: Optional[str] = None
+    parallel: bool = False
 
 
 @dataclass
@@ -95,6 +103,10 @@ class ExecutionPlan:
 
     def n_kernels(self) -> int:
         return len(self.kernels)
+
+    def parallel_kernels(self) -> int:
+        """Kernels on sites compiled for worker-pool sharding."""
+        return sum(1 for k in self.kernels if k.parallel)
 
 
 def _aux_scale(device: DeviceSpec, kind: str) -> float:

@@ -428,7 +428,18 @@ class FusedChainExecutor:
 
     def bind(self, scratch: Dict[str, np.ndarray]) -> None:
         """Attach (zero-initialized) scratch buffers; shapes must match
-        :meth:`scratch_shapes`."""
+        :meth:`scratch_shapes`.
+
+        The bound set becomes the *default* scratch for :meth:`run` —
+        which makes argument-free ``run`` calls non-reentrant: two
+        concurrent calls on the same executor would interleave writes
+        into one block slab.  Concurrent callers must pass ``run`` an
+        explicit per-caller ``scratch`` (e.g. disjoint batch-sliced
+        views of the bound buffers, which is what the parallel engine's
+        batch shards do); the regression test
+        ``test_fused_concurrent_run_disjoint_scratch`` pins this
+        contract.
+        """
         for name, shape in self.scratch_shapes().items():
             if scratch[name].shape != shape:
                 raise ValueError(
@@ -436,6 +447,11 @@ class FusedChainExecutor:
                     f"expected {shape}"
                 )
         self._scratch = scratch
+
+    @property
+    def bound_scratch(self) -> Optional[Dict[str, np.ndarray]]:
+        """The scratch dict attached by :meth:`bind` (or ``None``)."""
+        return self._scratch
 
     @property
     def scratch_nbytes(self) -> int:
@@ -463,14 +479,29 @@ class FusedChainExecutor:
         return self._maybe_jit_dw() is not None
 
     # -- execution -------------------------------------------------------
-    def run(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
-        """Execute the fused chain: ``x (B, C, H, W) -> out (B, N, OH, OW)``."""
-        if self._scratch is None:
+    def run(
+        self,
+        x: np.ndarray,
+        out: np.ndarray,
+        scratch: Optional[Dict[str, np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Execute the fused chain: ``x (B, C, H, W) -> out (B, N, OH, OW)``.
+
+        ``scratch=None`` uses the buffers attached by :meth:`bind` —
+        that default path is **non-reentrant** (one slab, one in-flight
+        call).  Concurrent callers pass their own ``scratch`` dict
+        (same keys as :meth:`scratch_shapes`; batch-sliced views of the
+        bound buffers suffice, since all block scratch is per-sample
+        along the leading axis).
+        """
+        if scratch is None:
+            scratch = self._scratch
+        if scratch is None:
             raise RuntimeError("FusedChainExecutor.run before bind()")
         b = x.shape[0]
-        z1buf = self._scratch["z1blk"]
-        ybuf = self._scratch["yblk"]
-        pbuf = self._scratch["prod"]
+        z1buf = scratch["z1blk"]
+        ybuf = scratch["yblk"]
+        pbuf = scratch["prod"]
         k, stride, start = self.k, self.stride, self.start
         origin, h, w = self.origin, self.h, self.w
         jit_dw = self._maybe_jit_dw()
@@ -533,7 +564,7 @@ class FusedChainExecutor:
                         first = False
             # ---- stage 3: TT group-sum ---------------------------------
             if self.fmt == "tt":
-                gv = self._scratch["gsum"][:b, :, :nrows, :]
+                gv = scratch["gsum"][:b, :, :nrows, :]
                 r1 = self.collapse_to
                 r2 = self.mid_out // r1
                 np.sum(

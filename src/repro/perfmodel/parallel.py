@@ -1,0 +1,69 @@
+"""Fork/join overhead term: the per-site parallel/serial decision.
+
+Thread-level parallelism is a planning axis like tiling or backend
+choice, so the decision of whether a compiled site shards its forward
+across worker lanes belongs to the perf model, not the executor.  The
+model is deliberately simple — one overhead constant against the
+site's planned latency:
+
+    parallel_latency(L, T) = L / T + T * FORK_JOIN_EQUIV_S
+
+``L`` is the site's simulated per-request latency (the sum of its
+planned kernels: pw1 + core + pw2, or the dense conv); the linear
+``T * FORK_JOIN_EQUIV_S`` term charges one fork/join handoff per lane.
+A site goes parallel when the estimated speedup ``L /
+parallel_latency`` clears :data:`MIN_PARALLEL_SPEEDUP` — small sites
+(pointwise projections, late tiny feature maps) never pay the fork
+cost, exactly the behavior the determinism suite and
+``benchmarks/bench_parallel.py`` expect.
+
+The constant is expressed in *simulated* seconds so it composes with
+plan latencies (which model the target GPU, not the host): it is a
+threshold policy, the same role launch overhead plays in the
+analytical kernel model, not a host wall-clock measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Simulated-latency equivalent charged per worker-lane fork/join.
+#: Sized against the planner's per-site latencies (single-digit
+#: simulated microseconds on the preset models): at 4 lanes the
+#: overhead term is 2us, so ~10us factored chains shard while ~2us
+#: pointwise projections and late tiny feature maps stay serial.
+FORK_JOIN_EQUIV_S = 5e-7
+
+#: Estimated speedup a site must clear before sharding is worth it.
+MIN_PARALLEL_SPEEDUP = 1.2
+
+
+def estimated_parallel_latency(site_latency_s: float, threads: int) -> float:
+    """Modeled latency of one site forward sharded over ``threads``."""
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if threads == 1:
+        return float(site_latency_s)
+    return site_latency_s / threads + threads * FORK_JOIN_EQUIV_S
+
+
+def parallel_speedup_estimate(site_latency_s: float, threads: int) -> float:
+    """Modeled speedup of sharding one site over ``threads`` lanes."""
+    if site_latency_s <= 0.0:
+        return 1.0
+    est = estimated_parallel_latency(site_latency_s, threads)
+    return site_latency_s / est if est > 0 else 1.0
+
+
+def should_parallelize(
+    site_latency_s: float, threads: int,
+    min_speedup: float = MIN_PARALLEL_SPEEDUP,
+) -> Tuple[bool, float]:
+    """The compile-time decision: ``(go_parallel, estimated_speedup)``.
+
+    ``threads == 1`` is always serial (the runtime is disabled);
+    otherwise the site shards iff the modeled speedup clears
+    ``min_speedup``.
+    """
+    est = parallel_speedup_estimate(site_latency_s, threads)
+    return (threads > 1 and est >= min_speedup), est

@@ -1,0 +1,196 @@
+"""One bounded worker pool per process.
+
+Every parallel site of every :class:`~repro.inference.executable.
+Executable` — across all :class:`~repro.serving.InferenceSession`\\ s
+and fleet replicas in the process — submits its shard tasks to the
+same pool, so a 12-replica fleet on an 8-core host still runs at most
+``threads - 1`` pool workers plus the callers themselves.  The caller
+always executes the first shard inline (fork/join without a handoff
+for the common task), which also guarantees forward progress when the
+pool is saturated by other executables: a task never blocks waiting on
+another pool task, so the queue always drains.
+
+Thread-count resolution, in priority order:
+
+1. an explicit ``threads=`` argument (``--threads`` on the CLI),
+2. the ``REPRO_NUM_THREADS`` environment variable,
+3. ``min(os.cpu_count(), 8)``.
+
+``threads=1`` disables the runtime entirely — compile produces exactly
+the serial executable this repo always had.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from typing import Callable, List, Optional, Sequence
+
+#: Hard ceiling on pool workers regardless of what the user asks for —
+#: the no-thread-explosion backstop for fleet-scale deployments.
+MAX_WORKERS = 32
+
+#: Default cap when neither ``threads=`` nor the env var is given.
+DEFAULT_THREAD_CAP = 8
+
+ENV_VAR = "REPRO_NUM_THREADS"
+
+
+def default_threads() -> int:
+    """The process default: ``REPRO_NUM_THREADS`` or ``min(cores, 8)``."""
+    raw = os.environ.get(ENV_VAR)
+    if raw is not None:
+        try:
+            n = int(raw)
+        except ValueError as exc:
+            raise ValueError(
+                f"{ENV_VAR}={raw!r} is not an integer"
+            ) from exc
+        if n < 1:
+            raise ValueError(f"{ENV_VAR} must be >= 1, got {n}")
+        return min(n, MAX_WORKERS)
+    return max(1, min(os.cpu_count() or 1, DEFAULT_THREAD_CAP))
+
+
+def resolve_threads(threads: Optional[int] = None) -> int:
+    """Resolve an explicit ``threads`` argument against the default."""
+    if threads is None:
+        return default_threads()
+    n = int(threads)
+    if n < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    return min(n, MAX_WORKERS)
+
+
+class _Future:
+    """Minimal completion handle for one pool task."""
+
+    __slots__ = ("_done", "_result", "_exc")
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._result = None
+        self._exc: Optional[BaseException] = None
+
+    def set_result(self, value) -> None:
+        self._result = value
+        self._done.set()
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._exc = exc
+        self._done.set()
+
+    def result(self):
+        self._done.wait()
+        if self._exc is not None:
+            raise self._exc
+        return self._result
+
+
+class WorkerPool:
+    """A bounded pool of daemon worker threads draining one task queue.
+
+    Workers are spawned lazily via :meth:`ensure_workers` up to
+    :data:`MAX_WORKERS`; they are daemonic and live for the process
+    (an idle worker costs one blocked ``queue.get``).  Tasks are plain
+    callables; exceptions propagate to the joiner.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._lock = threading.Lock()
+        self._workers: List[threading.Thread] = []
+        self.tasks_executed = 0
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    def ensure_workers(self, n: int) -> None:
+        """Grow the pool to at least ``n`` workers (capped)."""
+        n = min(int(n), MAX_WORKERS)
+        with self._lock:
+            while len(self._workers) < n:
+                t = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-pool-{len(self._workers)}",
+                    daemon=True,
+                )
+                t.start()
+                self._workers.append(t)
+
+    def _worker_loop(self) -> None:
+        while True:
+            fn, fut = self._tasks.get()
+            try:
+                fut.set_result(fn())
+            except BaseException as exc:  # noqa: BLE001 - relayed to joiner
+                fut.set_exception(exc)
+
+    def submit(self, fn: Callable[[], object]) -> _Future:
+        fut = _Future()
+        self._tasks.put((fn, fut))
+        return fut
+
+    def run_tasks(self, tasks: Sequence[Callable[[], object]]) -> list:
+        """Execute ``tasks``, caller included, and join.
+
+        The caller runs ``tasks[0]`` inline while the pool workers
+        drain the rest; returns the per-task results in order.  The
+        first task exception (caller's first, then submission order)
+        re-raises after every task has finished — a failed shard never
+        leaves another shard still writing into the arena.
+        """
+        if not tasks:
+            return []
+        if len(tasks) == 1:
+            return [tasks[0]()]
+        futures = [self.submit(t) for t in tasks[1:]]
+        self.tasks_executed += len(tasks)
+        first_exc: Optional[BaseException] = None
+        results: list = [None] * len(tasks)
+        try:
+            results[0] = tasks[0]()
+        except BaseException as exc:  # noqa: BLE001
+            first_exc = exc
+        for i, fut in enumerate(futures, start=1):
+            try:
+                results[i] = fut.result()
+            except BaseException as exc:  # noqa: BLE001
+                if first_exc is None:
+                    first_exc = exc
+        if first_exc is not None:
+            raise first_exc
+        return results
+
+
+_POOL: Optional[WorkerPool] = None
+_POOL_LOCK = threading.Lock()
+
+
+def get_pool(min_workers: int = 0) -> WorkerPool:
+    """The process-wide shared pool, grown to ``min_workers`` workers."""
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is None:
+            _POOL = WorkerPool()
+    if min_workers > 0:
+        _POOL.ensure_workers(min_workers)
+    return _POOL
+
+
+def pool_stats() -> dict:
+    """Introspection: the shared pool's current size and task count."""
+    with _POOL_LOCK:
+        pool = _POOL
+    if pool is None:
+        return {"workers": 0, "tasks_executed": 0}
+    return {"workers": pool.n_workers, "tasks_executed": pool.tasks_executed}
+
+
+def _reset_pool_for_tests() -> None:
+    """Drop the shared pool (tests only; old workers drain and idle)."""
+    global _POOL
+    with _POOL_LOCK:
+        _POOL = None

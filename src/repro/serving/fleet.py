@@ -728,6 +728,7 @@ def deploy_fleet(
     formats: object = ("tucker",),
     calibrated: bool = False,
     workers: Optional[int] = None,
+    threads: Optional[int] = None,
 ) -> ReplicaSet:
     """Deploy one model as a replicated fleet across devices.
 
@@ -745,6 +746,13 @@ def deploy_fleet(
     ``calibrated=True`` plans against
     :class:`~repro.calibration.CalibratedDevice` snapshots so router
     capacity estimates use measured corrections.
+
+    ``threads`` is the parallel-engine lane count each replica's
+    executable compiles with (``None`` = ``REPRO_NUM_THREADS`` /
+    ``min(cores, 8)``).  All replicas — and replicas restarted by the
+    circuit breaker, which re-run the same factory — share the one
+    process-wide worker pool, so the fleet's pool footprint stays
+    ``threads - 1`` workers regardless of replica count.
     """
     from repro.codesign.pipeline import decompose_for_device
     from repro.inference.executable import compile_plan
@@ -801,6 +809,7 @@ def deploy_fleet(
             executable = compile_plan(
                 plan, model, target, image_hw=image_hw,
                 in_channels=in_channels, max_batch=max_batch, sites=sites,
+                threads=threads,
             )
             return InferenceSession(
                 executable, batch_window_s=batch_window_s, warm=True,
@@ -833,7 +842,7 @@ def deploy_fleet(
             fb_exe = compile_plan(
                 fb_plan, fb_model, devices[0], image_hw=image_hw,
                 in_channels=in_channels, max_batch=max_batch,
-                sites=fb_sites,
+                sites=fb_sites, threads=threads,
             )
             fallback = InferenceSession(
                 fb_exe, batch_window_s=batch_window_s, warm=True,

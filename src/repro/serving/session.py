@@ -709,6 +709,7 @@ class _Deployment:
     max_batch: int
     model_name: str
     sites: List[LayerSite]
+    threads: Optional[int] = None
 
 
 class SessionRegistry:
@@ -775,6 +776,7 @@ class SessionRegistry:
         name: Optional[str] = None,
         stats_window: int = 4096,
         auto_replan: Optional[AutoReplanPolicy] = None,
+        threads: Optional[int] = None,
     ) -> InferenceSession:
         """Deploy a model preset end to end and register the session.
 
@@ -787,6 +789,10 @@ class SessionRegistry:
         Reuses an existing session under the same key.  ``auto_replan``
         opts the session into drift-triggered recalibration (see
         :class:`AutoReplanPolicy` and :meth:`recalibrate`).
+        ``threads`` is the parallel-engine lane count for the compiled
+        executable (``None`` = ``REPRO_NUM_THREADS`` / ``min(cores,
+        8)``; micro-batches then shard through the one process-wide
+        worker pool); it sticks across :meth:`recalibrate` swaps.
         """
         from repro.codesign.pipeline import decompose_for_device
         from repro.models.introspection import trace_layer_sites
@@ -822,6 +828,7 @@ class SessionRegistry:
             executable = compile_plan(
                 plan, model, device, image_hw=image_hw,
                 in_channels=in_channels, max_batch=max_batch, sites=sites,
+                threads=threads,
             )
             session = InferenceSession(
                 executable, batch_window_s=batch_window_s, warm=True,
@@ -834,7 +841,7 @@ class SessionRegistry:
                     model=model, device=device, backend=backend,
                     image_hw=tuple(image_hw), in_channels=in_channels,
                     max_batch=max_batch, model_name=model_name,
-                    sites=list(sites),
+                    sites=list(sites), threads=threads,
                 )
             return self.add(key, session)
 
@@ -896,6 +903,7 @@ class SessionRegistry:
             in_channels=deployment.in_channels,
             max_batch=deployment.max_batch,
             dtype=session.executable.dtype, sites=deployment.sites,
+            threads=deployment.threads,
         )
         session.swap_executable(executable)
         return run
