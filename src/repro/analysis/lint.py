@@ -1,0 +1,312 @@
+"""AST-walking lint framework for the repo's hard invariants.
+
+The codebase stakes machine-checkable claims — zero steady-state
+allocation in ``Executable.run``, no silent float64 promotion in kernel
+paths, lock-guarded cross-thread writes, a conformant ``KernelBackend``
+protocol — but each was historically enforced by one ad-hoc test in one
+file.  This module is the static half of ``repro.analysis``: rules walk
+module ASTs and report :class:`Finding`\\ s; suppression comments
+annotate intentional exceptions in place; a versioned JSON baseline
+grandfathers pre-existing findings so new rules can land strict without
+blocking on a cleanup.
+
+Suppression syntax
+------------------
+A comment anywhere on the offending line (or on/above a ``def`` to
+cover the whole function)::
+
+    x = x.astype(self.dtype)  # repro: ignore[hot-path-alloc] -- cold-path cast, counted by hot_casts
+
+The ``-- reason`` clause is mandatory: a reasonless suppression is
+itself reported under the ``bare-suppression`` pseudo-rule, so every
+silenced invariant carries its justification in the diff.
+``repro: ignore[rule-a, rule-b]`` silences several rules at once.
+
+Baseline workflow
+-----------------
+``repro analyze --update-baseline`` snapshots current findings into a
+versioned JSON file keyed by (rule, path, symbol, message) — line
+numbers are deliberately excluded so unrelated edits do not churn the
+baseline.  Subsequent runs fail only on findings absent from the
+baseline; entries that no longer match anything are reported as stale
+so the baseline shrinks monotonically.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Bump when the baseline JSON schema changes; loaders reject other
+#: versions loudly rather than silently mismatching keys.
+BASELINE_VERSION = 1
+
+#: Pseudo-rule for suppression comments that carry no reason clause.
+BARE_SUPPRESSION_RULE = "bare-suppression"
+
+_SUPPRESS_RE = re.compile(
+    r"repro:\s*ignore\[([A-Za-z0-9_,\- ]+)\]\s*(?:--\s*(\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str          # rule name, e.g. "hot-path-alloc"
+    path: str          # repo-relative posix path
+    line: int          # 1-based line number (informational, not identity)
+    symbol: str        # e.g. "CompiledConv2d._body" or "Session._closed"
+    message: str       # human-readable, stable across unrelated edits
+
+    def key(self) -> str:
+        """Baseline identity: everything except the line number."""
+        return f"{self.rule}::{self.path}::{self.symbol}::{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    path: Path
+    relpath: str                       # posix, relative to the scan root
+    source: str
+    tree: ast.Module
+    # line -> rule names silenced on that line ("*" silences all)
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    # lines carrying a suppression comment without a reason clause
+    bare_suppression_lines: List[int] = field(default_factory=list)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        return bool(rules) and (rule in rules or "*" in rules)
+
+
+class Rule:
+    """Protocol for lint rules.
+
+    Subclasses set ``name``/``description`` and implement
+    :meth:`check`.  :meth:`begin` runs once per invocation with every
+    module in scope, for rules that need cross-module context (e.g.
+    the backend-conformance rule reads the protocol signatures out of
+    ``backends/registry.py`` before checking subclasses elsewhere).
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def begin(self, modules: Sequence[ParsedModule]) -> None:
+        return None
+
+    def check(self, module: ParsedModule) -> List[Finding]:
+        raise NotImplementedError
+
+
+def _comment_suppressions(
+    source: str,
+) -> Tuple[Dict[int, Set[str]], Dict[int, bool]]:
+    """Map line -> suppressed rules and line -> has-reason, from
+    ``repro: ignore[...]`` comments (tokenized, so ``#`` inside string
+    literals never false-positives)."""
+    rules_by_line: Dict[int, Set[str]] = {}
+    has_reason: Dict[int, bool] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            names = {n.strip() for n in match.group(1).split(",") if n.strip()}
+            line = tok.start[0]
+            rules_by_line.setdefault(line, set()).update(names)
+            has_reason[line] = bool(match.group(2))
+    except tokenize.TokenError:
+        pass
+    return rules_by_line, has_reason
+
+
+def parse_module(path: Path, root: Path) -> ParsedModule:
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    try:
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+
+    line_rules, has_reason = _comment_suppressions(source)
+    suppressions: Dict[int, Set[str]] = {
+        line: set(rules) for line, rules in line_rules.items()
+    }
+    bare = sorted(line for line, ok in has_reason.items() if not ok)
+
+    # A suppression on (or directly above) a `def` line covers the
+    # whole function body — the per-function form of the syntax.
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for anchor in (node.lineno, node.lineno - 1):
+            rules = line_rules.get(anchor)
+            if not rules:
+                continue
+            end = getattr(node, "end_lineno", node.lineno) or node.lineno
+            for line in range(node.lineno, end + 1):
+                suppressions.setdefault(line, set()).update(rules)
+
+    return ParsedModule(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        suppressions=suppressions,
+        bare_suppression_lines=bare,
+    )
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, deduped .py file list."""
+    out: List[Path] = []
+    seen: Set[Path] = set()
+    for p in paths:
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        else:
+            candidates = [p]
+        for f in candidates:
+            r = f.resolve()
+            if r not in seen and f.suffix == ".py":
+                seen.add(r)
+                out.append(f)
+    return out
+
+
+def default_paths(root: Path) -> List[Path]:
+    """The default scan scope: the `repro` package source tree."""
+    src = root / "src" / "repro"
+    return [src if src.is_dir() else root]
+
+
+def run_rules(
+    paths: Optional[Sequence[Path]] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Run ``rules`` over every .py file under ``paths``.
+
+    Returns non-suppressed findings sorted by (path, line, rule);
+    reasonless suppression comments are appended as
+    ``bare-suppression`` findings so they cannot hide silently.
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    if rules is None:
+        from repro.analysis.rules import build_rules
+
+        rules = build_rules()
+    scan = [Path(p) for p in paths] if paths else default_paths(root)
+
+    modules: List[ParsedModule] = []
+    findings: List[Finding] = []
+    for f in collect_files(scan):
+        try:
+            modules.append(parse_module(f, root))
+        except SyntaxError as exc:
+            findings.append(Finding(
+                rule="parse-error",
+                path=f.as_posix(),
+                line=int(exc.lineno or 0),
+                symbol="",
+                message=f"cannot parse module: {exc.msg}",
+            ))
+
+    for rule in rules:
+        rule.begin(modules)
+    for module in modules:
+        for rule in rules:
+            for finding in rule.check(module):
+                if not module.is_suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+        for line in module.bare_suppression_lines:
+            findings.append(Finding(
+                rule=BARE_SUPPRESSION_RULE,
+                path=module.relpath,
+                line=line,
+                symbol="",
+                message=(
+                    "suppression comment without a reason clause; write "
+                    "`# repro: ignore[rule] -- why this is intentional`"
+                ),
+            ))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Baseline persistence
+# ---------------------------------------------------------------------------
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": sorted(
+            (f.to_json() for f in findings),
+            key=lambda d: (d["path"], d["rule"], d["symbol"], d["message"]),
+        ),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Load a baseline file into a set of finding keys."""
+    data = json.loads(Path(path).read_text())
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {version!r}; this tool "
+            f"understands version {BASELINE_VERSION} — regenerate with "
+            f"--update-baseline"
+        )
+    keys = set()
+    for entry in data.get("findings", ()):
+        keys.add(
+            f"{entry['rule']}::{entry['path']}::"
+            f"{entry.get('symbol', '')}::{entry['message']}"
+        )
+    return keys
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Set[str]
+) -> Tuple[List[Finding], Set[str]]:
+    """Split findings into (new, matched-baseline-keys).
+
+    ``baseline - matched`` after this call is the stale set: entries
+    whose violation no longer exists and should be pruned.
+    """
+    new: List[Finding] = []
+    matched: Set[str] = set()
+    for f in findings:
+        key = f.key()
+        if key in baseline:
+            matched.add(key)
+        else:
+            new.append(f)
+    return new, matched

@@ -1,0 +1,192 @@
+"""lock-discipline: cross-thread attribute writes must hold the lock.
+
+The serving stack (``InferenceSession``/``SessionRegistry``/
+``ReplicaSet``/``WorkerPool``...) mixes caller threads, a micro-batch
+worker, maintenance loops, and pool lanes.  Any class that allocates a
+``threading.Lock``/``RLock``/``Condition`` onto ``self`` in
+``__init__`` is declaring "my attributes are shared"; this rule then
+checks that declaration is honored:
+
+- an augmented assignment (``self.x += 1``) outside a ``with
+  self.<lock>:`` block in any non-init method is a lost-update race
+  and is always flagged;
+- a plain attribute assigned from two or more distinct non-init
+  methods, with at least one write unguarded, is flagged at each
+  unguarded site (two methods writing means two threads *can* —
+  that is exactly why the class owns a lock).
+
+Two escapes exist for the legitimate cases: methods named ``*_locked``
+are, by repo convention, only called with the class lock already held
+(their writes count as guarded), and intentional unguarded writes
+(e.g. single-writer flags with benign readers) are annotated in place
+with ``# repro: ignore[lock-discipline] -- reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.lint import Finding, ParsedModule, Rule
+from repro.analysis.rules import register_rule
+
+INIT_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition", "Semaphore"})
+
+
+@dataclass(frozen=True)
+class _Write:
+    attr: str
+    method: str
+    line: int
+    guarded: bool
+    augmented: bool
+
+
+def _lock_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Names of self attributes assigned a threading lock in init."""
+    locks: Set[str] = set()
+    for node in cls.body:
+        if not (
+            isinstance(node, ast.FunctionDef) and node.name in INIT_METHODS
+        ):
+            continue
+        for stmt in ast.walk(node):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            value = stmt.value
+            if not (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in LOCK_FACTORIES
+            ):
+                continue
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    locks.add(target.attr)
+    return locks
+
+
+def _with_holds_lock(node: ast.With, locks: Set[str]) -> bool:
+    for item in node.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in locks
+        ):
+            return True
+    return False
+
+
+def _collect_writes(
+    method: ast.FunctionDef, locks: Set[str]
+) -> List[_Write]:
+    writes: List[_Write] = []
+
+    def visit(node: ast.AST, guarded: bool) -> None:
+        if isinstance(node, ast.With):
+            guarded = guarded or _with_holds_lock(node, locks)
+        targets: List[Tuple[ast.expr, bool]] = []
+        if isinstance(node, ast.Assign):
+            targets = [(t, False) for t in node.targets]
+        elif isinstance(node, ast.AugAssign):
+            targets = [(node.target, True)]
+        for target, augmented in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                writes.append(_Write(
+                    attr=target.attr,
+                    method=method.name,
+                    line=target.lineno,
+                    guarded=guarded,
+                    augmented=augmented,
+                ))
+        for child in ast.iter_child_nodes(node):
+            visit(child, guarded)
+
+    # ``*_locked`` methods are called with the lock held by contract.
+    visit(method, method.name.endswith("_locked"))
+    return writes
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "attributes of lock-owning classes written from >=2 methods "
+        "(or via +=) must hold the class lock or carry a reasoned "
+        "suppression"
+    )
+
+    def check(self, module: ParsedModule) -> List[Finding]:
+        findings: List[Finding] = []
+        for cls in module.tree.body:
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            locks = _lock_attrs(cls)
+            if not locks:
+                continue
+            findings.extend(self._check_class(module, cls, locks))
+        return findings
+
+    def _check_class(
+        self, module: ParsedModule, cls: ast.ClassDef, locks: Set[str]
+    ) -> List[Finding]:
+        writes: List[_Write] = []
+        for node in cls.body:
+            if (
+                isinstance(node, ast.FunctionDef)
+                and node.name not in INIT_METHODS
+            ):
+                writes.extend(_collect_writes(node, locks))
+
+        by_attr: Dict[str, List[_Write]] = {}
+        for w in writes:
+            if w.attr in locks:
+                continue
+            by_attr.setdefault(w.attr, []).append(w)
+
+        findings: List[Finding] = []
+        for attr, ws in sorted(by_attr.items()):
+            methods = {w.method for w in ws}
+            for w in ws:
+                if w.guarded:
+                    continue
+                if w.augmented:
+                    findings.append(Finding(
+                        rule=self.name,
+                        path=module.relpath,
+                        line=w.line,
+                        symbol=f"{cls.name}.{attr}",
+                        message=(
+                            f"read-modify-write of self.{attr} in "
+                            f"{cls.name}.{w.method} without holding "
+                            f"the class lock (lost-update race)"
+                        ),
+                    ))
+                elif len(methods) >= 2:
+                    others = sorted(methods - {w.method})
+                    findings.append(Finding(
+                        rule=self.name,
+                        path=module.relpath,
+                        line=w.line,
+                        symbol=f"{cls.name}.{attr}",
+                        message=(
+                            f"self.{attr} written in "
+                            f"{cls.name}.{w.method} without the class "
+                            f"lock, but also written in "
+                            f"{', '.join(others)} — guard the write or "
+                            f"suppress with a reason"
+                        ),
+                    ))
+        return findings

@@ -262,6 +262,31 @@ def build_parser() -> argparse.ArgumentParser:
                     help="cache dir (default: $REPRO_CACHE_DIR or "
                          "~/.cache/repro-tdc)")
 
+    an = sub.add_parser(
+        "analyze",
+        help="static invariant rules (repro.analysis) + dynamic probes",
+    )
+    an.add_argument("--rules", nargs="*", default=None,
+                    help="rule names to run (default: all registered)")
+    an.add_argument("--paths", nargs="*", default=None,
+                    help="files/directories to scan (default: src/repro)")
+    an.add_argument("--root", default=".",
+                    help="repo root for relative paths and the default "
+                         "baseline location (default: cwd)")
+    an.add_argument("--baseline", default=None,
+                    help="baseline JSON file (default: "
+                         "<root>/analysis_baseline.json when present)")
+    an.add_argument("--update-baseline", action="store_true",
+                    help="snapshot current findings into the baseline "
+                         "and exit 0")
+    an.add_argument("--json", action="store_true", dest="as_json",
+                    help="machine-readable JSON output")
+    an.add_argument("--dynamic", action="store_true",
+                    help="also run the zero-allocation + arena-aliasing "
+                         "probes on the quick preset sweep")
+    an.add_argument("--list-rules", action="store_true",
+                    help="list registered rules and exit")
+
     return parser
 
 
@@ -695,6 +720,75 @@ def _run_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_analyze(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis import (
+        apply_baseline, load_baseline, run_rules, save_baseline,
+    )
+    from repro.analysis.rules import build_rules, rule_catalog
+
+    if args.list_rules:
+        for rule in rule_catalog():
+            print(f"{rule.name}: {rule.description}")
+        return 0
+
+    root = Path(args.root)
+    rules = build_rules(args.rules) if args.rules else None
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    findings = run_rules(paths=paths, rules=rules, root=root)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline
+        else root / "analysis_baseline.json"
+    )
+    if args.update_baseline:
+        save_baseline(baseline_path, findings)
+        print(f"baseline: {len(findings)} finding(s) -> {baseline_path}")
+        return 0
+
+    baseline = load_baseline(baseline_path) if baseline_path.exists() else set()
+    new, matched = apply_baseline(findings, baseline)
+    stale = sorted(baseline - matched)
+
+    dynamic_report = None
+    dynamic_error = None
+    if args.dynamic:
+        from repro.analysis.dynamic import run_dynamic_probes
+
+        try:
+            dynamic_report = run_dynamic_probes(quick=True)
+        except AssertionError as exc:
+            dynamic_error = str(exc)
+
+    if args.as_json:
+        print(json.dumps({
+            "findings": [f.to_json() for f in new],
+            "baselined": len(matched),
+            "stale_baseline": stale,
+            "dynamic": dynamic_report,
+            "dynamic_error": dynamic_error,
+        }, indent=2))
+    else:
+        for f in new:
+            print(f.render())
+        if matched:
+            print(f"{len(matched)} baselined finding(s) suppressed")
+        if stale:
+            print(f"{len(stale)} stale baseline entr(ies) — prune with "
+                  f"--update-baseline:")
+            for key in stale:
+                print(f"  {key}")
+        if dynamic_report is not None:
+            print(f"dynamic probes: {len(dynamic_report)} executables, "
+                  f"zero steady-state allocations, arena disjoint")
+        if dynamic_error is not None:
+            print(f"dynamic probe FAILED: {dynamic_error}")
+        print(f"{len(new)} new finding(s)")
+    return 1 if (new or dynamic_error) else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -790,6 +884,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(generate_tdc_kernel_source(shape, choice.tiling))
     elif args.command == "cache":
         return _run_cache(args)
+    elif args.command == "analyze":
+        return _run_analyze(args)
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(f"unknown command {args.command!r}")
     return 0

@@ -823,7 +823,7 @@ class Executable:
                 f"let an InferenceSession micro-batch the requests"
             )
         if x.dtype != self.dtype:
-            x = x.astype(self.dtype)  # cold path; hot callers pass dtype
+            x = x.astype(self.dtype)  # repro: ignore[hot-path-alloc] -- cold-path dtype cast, counted via hot_casts; serving pre-converts in the staging buffer
             self.hot_casts += 1
         y = self._model.forward(x)
         self.requests_served += 1

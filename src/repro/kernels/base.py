@@ -41,7 +41,7 @@ def execution_dtype(*arrays: np.ndarray) -> np.dtype:
     """
     dtype = np.result_type(*arrays)
     if not np.issubdtype(dtype, np.floating):
-        return np.dtype(np.float64)
+        return np.dtype(np.float64)  # repro: ignore[dtype-promotion] -- integer inputs deliberately promote to the widest float
     if dtype.itemsize < np.dtype(np.float32).itemsize:
         return np.dtype(np.float32)
     return dtype
@@ -150,7 +150,7 @@ class ConvKernel:
         return {}
 
     def allocate_scratch(
-        self, shape: ConvShape, dtype: np.dtype = np.dtype(np.float64)
+        self, shape: ConvShape, dtype: np.dtype = np.dtype(np.float64)  # repro: ignore[dtype-promotion] -- reference-path default; compile_plan always passes the arena dtype
     ) -> Dict[str, np.ndarray]:
         """Allocate the zero-initialized scratch set for ``run_into``.
 

@@ -180,13 +180,32 @@ class CuDNNGemmKernel(ConvKernel):
 # ---------------------------------------------------------------------------
 
 # Lavin & Gray minimal filtering matrices (cross-correlation form).
+# Masters stay float64 (exact: entries are halves) so every cast in
+# ``wino_transforms`` starts from full precision.
 WINO_BT = np.array(
-    [[1, 0, -1, 0], [0, 1, 1, 0], [0, -1, 1, 0], [0, 1, 0, -1]], dtype=np.float64
+    [[1, 0, -1, 0], [0, 1, 1, 0], [0, -1, 1, 0], [0, 1, 0, -1]], dtype=np.float64  # repro: ignore[dtype-promotion] -- exact float64 master, cast per-dtype via wino_transforms
 )
 WINO_G = np.array(
-    [[1, 0, 0], [0.5, 0.5, 0.5], [0.5, -0.5, 0.5], [0, 0, 1]], dtype=np.float64
+    [[1, 0, 0], [0.5, 0.5, 0.5], [0.5, -0.5, 0.5], [0, 0, 1]], dtype=np.float64  # repro: ignore[dtype-promotion] -- exact float64 master, cast per-dtype via wino_transforms
 )
-WINO_AT = np.array([[1, 1, 1, 0], [0, 1, -1, -1]], dtype=np.float64)
+WINO_AT = np.array([[1, 1, 1, 0], [0, 1, -1, -1]], dtype=np.float64)  # repro: ignore[dtype-promotion] -- exact float64 master, cast per-dtype via wino_transforms
+
+_WINO_TRANSFORMS: dict = {}
+
+
+def wino_transforms(dtype) -> tuple:
+    """The ``(BT, G, AT)`` triple cast to ``dtype``, memoized.
+
+    ``run_into`` consumes the transforms every call; casting the
+    float64 masters there allocated three fresh arrays per call on
+    float32 arenas, so the cast happens once per dtype here instead.
+    """
+    dt = np.dtype(dtype)
+    cached = _WINO_TRANSFORMS.get(dt)
+    if cached is None:
+        cached = tuple(m.astype(dt, copy=False) for m in (WINO_BT, WINO_G, WINO_AT))
+        _WINO_TRANSFORMS[dt] = cached
+    return cached
 
 
 class CuDNNWinogradKernel(ConvKernel):
@@ -307,9 +326,7 @@ class CuDNNWinogradKernel(ConvKernel):
         tw = ceil(shape.w / 2)
         # Transform matrices in the execution dtype (their entries are
         # exactly representable in float32, so no accuracy is lost).
-        bt = WINO_BT.astype(x.dtype, copy=False)
-        g = WINO_G.astype(x.dtype, copy=False)
-        at = WINO_AT.astype(x.dtype, copy=False)
+        bt, g, at = wino_transforms(x.dtype)
         # Pad so tiles cover the output: need (2*th + 2, 2*tw + 2).
         xp = np.zeros((shape.c, 2 * th + 2, 2 * tw + 2), dtype=x.dtype)
         base = pad_input(x, shape)  # (C, H+2, W+2)
@@ -357,9 +374,7 @@ class CuDNNWinogradKernel(ConvKernel):
         self._check_supported(shape)
         th = ceil(shape.h / 2)
         tw = ceil(shape.w / 2)
-        bt = WINO_BT.astype(x.dtype, copy=False)
-        g = WINO_G.astype(x.dtype, copy=False)
-        at = WINO_AT.astype(x.dtype, copy=False)
+        bt, g, at = wino_transforms(x.dtype)
         xp, d, yfull = scratch["xp"], scratch["d"], scratch["yfull"]
         # 3x3 "same" padding is one cell on every side; the border and
         # the beyond-image tail of xp stay zero across calls.

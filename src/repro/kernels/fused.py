@@ -373,7 +373,7 @@ class FusedChainExecutor:
         padding: int,
         max_batch: int,
         collapse_to: Optional[int] = None,
-        dtype: np.dtype = np.dtype(np.float64),
+        dtype: np.dtype = np.dtype(np.float64),  # repro: ignore[dtype-promotion] -- reference-path default; compile_plan always passes the arena dtype
     ) -> None:
         if fmt not in ("tucker", "cp", "tt"):
             raise ValueError(f"unknown fused chain format {fmt!r}")

@@ -205,12 +205,12 @@ def tdc_launch_batch(
 
     vol_x = tiles_hw * shape.c * halo_h * halo_w
     vol_k = tiles_hw * shape.c * shape.n * shape.r * shape.s
-    read_bytes = ((vol_x + vol_k) * FLOAT_BYTES).astype(np.float64)
+    read_bytes = ((vol_x + vol_k) * FLOAT_BYTES).astype(np.float64)  # repro: ignore[dtype-promotion] -- latency model runs in float64 by design (matches the scalar simulator)
     if not crsn_layout:
         read_bytes = read_bytes + vol_k * FLOAT_BYTES * (UNCOALESCED_PENALTY - 1.0)
 
     vol_y = shape.h * shape.w * shape.n * n_ctiles
-    write_bytes = (vol_y * FLOAT_BYTES).astype(np.float64)
+    write_bytes = (vol_y * FLOAT_BYTES).astype(np.float64)  # repro: ignore[dtype-promotion] -- latency model runs in float64 by design (matches the scalar simulator)
 
     n_cands = len(th)
     return LaunchBatch(

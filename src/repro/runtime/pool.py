@@ -147,7 +147,10 @@ class WorkerPool:
         if len(tasks) == 1:
             return [tasks[0]()]
         futures = [self.submit(t) for t in tasks[1:]]
-        self.tasks_executed += len(tasks)
+        # Callers on different threads share the process-wide pool, so
+        # the counter bump is a read-modify-write race without the lock.
+        with self._lock:
+            self.tasks_executed += len(tasks)
         first_exc: Optional[BaseException] = None
         results: list = [None] * len(tasks)
         try:

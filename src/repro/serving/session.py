@@ -547,11 +547,16 @@ class InferenceSession:
         # registry spawns a recalibration thread) rather than block —
         # and a raising callback must not unwind the serve loop, or
         # every future request would hang on an undrained queue.
-        self._replan_pending = True
+        # ``_replan_pending`` is also cleared by ``swap_executable`` on
+        # the recalibration thread, under ``_swap_lock``; take the same
+        # lock here so the worker's set never races the swap's clear.
+        with self._swap_lock:
+            self._replan_pending = True
         try:
             self.on_replan(self)
         except Exception as exc:
-            self._replan_pending = False
+            with self._swap_lock:
+                self._replan_pending = False
             print(
                 f"on_replan callback for session "
                 f"{getattr(self, 'name', self.executable.model_name)!r} "
@@ -655,9 +660,13 @@ class InferenceSession:
 
     def close(self, timeout: Optional[float] = 5.0) -> None:
         """Stop the worker after the queue drains."""
-        if self._closed:
-            return
-        self._closed = True
+        # The serve loop also sets ``_closed`` (fatal-error path) while
+        # holding ``_swap_lock``; the reentrant check-and-set makes
+        # concurrent close() calls enqueue exactly one sentinel.
+        with self._swap_lock:
+            if self._closed:
+                return
+            self._closed = True
         self._queue.put(_SENTINEL)
         self._worker.join(timeout)
         # A submit() that raced close() may have enqueued after the

@@ -35,3 +35,17 @@ def tiny_dataset():
     return make_cifar_like(
         n_train=96, n_test=48, image_size=8, num_classes=4, seed=0
     )
+
+
+@pytest.fixture
+def count_allocations():
+    """Shared numpy-allocation counter backed by ``repro.analysis``.
+
+    Replaces the per-file monkeypatching counters that used to live in
+    test_executable/test_fused/test_runtime: ``count_allocations(fn)``
+    runs ``fn`` under the tracer and returns only the nonzero counts,
+    so a clean hot path compares equal to ``{}``.
+    """
+    from repro.analysis.dynamic import count_allocations as impl
+
+    return impl

@@ -34,10 +34,6 @@ from repro.nn.tucker_conv import TuckerConv2d
 
 RTX = get_device("2080ti")
 
-# Numpy allocators the steady-state hot path must never call.
-ALLOC_NAMES = ("zeros", "empty", "pad", "zeros_like", "empty_like", "full")
-
-
 def make_site(fmt: str, k: int, stride: int, padding: int) -> Module:
     if fmt == "tucker":
         mod = TuckerConv2d(6, 8, k, rank_in=3, rank_out=4,
@@ -211,7 +207,7 @@ def test_auto_compile_binds_fused_site_end_to_end():
     assert np.max(np.abs(exe.run(x) - model.forward(x))) <= 1e-9
 
 
-def test_fused_hot_path_allocates_nothing():
+def test_fused_hot_path_allocates_nothing(count_allocations):
     model = _deep_model()
     exe = compile_model(
         model, A100, image_hw=(16, 16), in_channels=8,
@@ -219,24 +215,7 @@ def test_fused_hot_path_allocates_nothing():
     )
     x = np.random.default_rng(7).standard_normal((2, 8, 16, 16))
     exe.run(x)  # warm (first touch)
-
-    counts = {n: 0 for n in ALLOC_NAMES}
-    originals = {n: getattr(np, n) for n in ALLOC_NAMES}
-
-    def wrap(n):
-        def counted(*args, **kwargs):
-            counts[n] += 1
-            return originals[n](*args, **kwargs)
-        return counted
-
-    for n in ALLOC_NAMES:
-        setattr(np, n, wrap(n))
-    try:
-        exe.run(x)
-    finally:
-        for n, orig in originals.items():
-            setattr(np, n, orig)
-    assert not any(counts.values()), counts
+    assert count_allocations(lambda: exe.run(x)) == {}
 
 
 def test_fused_calibration_sample_and_attribution():

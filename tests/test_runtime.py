@@ -40,10 +40,6 @@ from repro.runtime.pool import (
     resolve_threads,
 )
 
-# Numpy allocators the steady-state hot path must never call.
-ALLOC_NAMES = ("zeros", "empty", "pad", "zeros_like", "empty_like", "full")
-
-
 def force_parallel(monkeypatch):
     """Make the compile-time gate say yes for every site, so shard
     machinery is exercised even on tiny test geometries."""
@@ -104,6 +100,28 @@ def test_run_tasks_exception_propagates_after_all_complete():
     # A failed shard never leaves another shard still writing: every
     # surviving task finished before the join re-raised.
     assert sorted(done) == [1, 2]
+
+
+def test_task_counter_exact_under_contention():
+    """Regression (lock-discipline): ``tasks_executed`` was bumped
+    outside the pool lock, so concurrent ``run_tasks`` callers could
+    lose updates.  With the guard the count is exact."""
+    pool = WorkerPool()
+    pool.ensure_workers(2)
+    callers, rounds, per_round = 8, 25, 3
+    barrier = threading.Barrier(callers)
+
+    def hammer():
+        barrier.wait()
+        for _ in range(rounds):
+            pool.run_tasks([lambda: None] * per_round)
+
+    threads = [threading.Thread(target=hammer) for _ in range(callers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert pool.tasks_executed == callers * rounds * per_round
 
 
 def test_ensure_workers_caps_at_max():
@@ -284,27 +302,7 @@ def test_perf_model_selects_parallel_sites_organically():
 # Zero-allocation parallel hot path
 # ---------------------------------------------------------------------------
 
-def _count_allocations(fn):
-    counts = {n: 0 for n in ALLOC_NAMES}
-    originals = {n: getattr(np, n) for n in ALLOC_NAMES}
-
-    def wrap(n):
-        def counted(*args, **kwargs):
-            counts[n] += 1
-            return originals[n](*args, **kwargs)
-        return counted
-
-    for n in ALLOC_NAMES:
-        setattr(np, n, wrap(n))
-    try:
-        fn()
-    finally:
-        for n, orig in originals.items():
-            setattr(np, n, orig)
-    return counts
-
-
-def test_parallel_hot_path_allocates_nothing(monkeypatch):
+def test_parallel_hot_path_allocates_nothing(monkeypatch, count_allocations):
     force_parallel(monkeypatch)
     model = build_model("resnet_tiny", seed=0)
     decompose_for_device(model, A100, (8, 8), budget=0.5, rank_step=2)
@@ -316,8 +314,8 @@ def test_parallel_hot_path_allocates_nothing(monkeypatch):
     for n in (1, 8):  # row-block axis and batch-shard axis
         x = rng.standard_normal((n, 3, 8, 8)).astype(exe.dtype)
         exe.run(x)  # warm (first touch)
-        counts = _count_allocations(lambda: exe.run(x))
-        assert not any(counts.values()), (n, counts)
+        counts = count_allocations(lambda: exe.run(x))
+        assert counts == {}, (n, counts)
 
 
 # ---------------------------------------------------------------------------

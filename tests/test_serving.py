@@ -100,6 +100,29 @@ def test_session_rejects_bad_shapes_and_closed_use():
     session.close()  # idempotent
 
 
+def test_concurrent_close_is_safe():
+    """Regression (lock-discipline): ``close()`` used to check-and-set
+    ``_closed`` without the swap lock, racing the serve loop's fatal
+    path and other closers.  Concurrent closes must all return cleanly
+    and leave the worker joined."""
+    _, exe = make_executable()
+    session = InferenceSession(exe)
+    barrier = threading.Barrier(6)
+
+    def closer():
+        barrier.wait()
+        session.close()
+
+    threads = [threading.Thread(target=closer) for _ in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not session.stats().worker_alive
+    with pytest.raises(RuntimeError, match="closed"):
+        session.submit(np.zeros((3,) + IMAGE_HW))
+
+
 def test_registry_deploys_and_reuses_sessions():
     registry = SessionRegistry()
     try:
